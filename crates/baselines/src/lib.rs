@@ -1,0 +1,36 @@
+//! # dcr-baselines — comparator protocols
+//!
+//! The protocols the paper positions itself against (and an offline
+//! optimum), implemented on the same [`dcr_sim`] substrate so the
+//! experiment harness can compare deadline-miss behaviour apples-to-apples:
+//!
+//! * [`beb::BinaryExponentialBackoff`] — the classic 802.11-style protocol:
+//!   transmit, and on each collision double the backoff window;
+//! * [`sawtooth::Sawtooth`] — the asymptotically makespan-optimal
+//!   non-monotonic backoff (Geréb-Graus–Tsantilas / Greenberg–Leiserson
+//!   style): repeatedly sweep window sizes downward inside doubling runs;
+//! * [`aloha::FixedProbability`] — slotted-ALOHA: transmit each slot with a
+//!   fixed probability;
+//! * [`windowed::WindowedBackoff`] — the general *windowed* family
+//!   (geometric, linear, quadratic, fixed schedules) that the monotone-
+//!   backoff lower bounds in the paper's related work quantify over;
+//! * [`scheduled::ScheduledSlot`] — a genie-scheduled protocol given its
+//!   slot by an offline EDF schedule; the collision-free upper bound.
+//!
+//! None of these are deadline-aware (that is the paper's point); jobs
+//! simply run until the engine retires them at their deadline.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aloha;
+pub mod beb;
+pub mod sawtooth;
+pub mod scheduled;
+pub mod windowed;
+
+pub use aloha::FixedProbability;
+pub use beb::BinaryExponentialBackoff;
+pub use sawtooth::Sawtooth;
+pub use scheduled::ScheduledSlot;
+pub use windowed::{Schedule, WindowedBackoff};

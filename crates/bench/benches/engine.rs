@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks for the channel engine: raw slot throughput
+//! under varying population sizes and with tracing/jamming enabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcr_baselines::FixedProbability;
+use dcr_sim::engine::{Engine, EngineConfig};
+use dcr_sim::jamming::{JamPolicy, Jammer};
+use dcr_sim::job::JobSpec;
+
+const SLOTS: u64 = 10_000;
+
+fn run(n: u32, config: EngineConfig, jam: bool) -> u64 {
+    let mut e = Engine::new(config, 42);
+    if jam {
+        e.set_jammer(Jammer::new(JamPolicy::AllSuccesses, 0.3));
+    }
+    for i in 0..n {
+        e.add_job(
+            JobSpec::new(i, 0, SLOTS),
+            Box::new(FixedProbability::new(1.0 / f64::from(n))),
+        );
+    }
+    e.run().slots_run
+}
+
+fn bench_slot_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/slots");
+    group.throughput(Throughput::Elements(SLOTS));
+    for n in [10u32, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("stations", n), &n, |b, &n| {
+            b.iter(|| run(n, EngineConfig::default(), false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/trace");
+    group.throughput(Throughput::Elements(SLOTS));
+    group.bench_function("off", |b| b.iter(|| run(100, EngineConfig::default(), false)));
+    group.bench_function("on", |b| {
+        b.iter(|| run(100, EngineConfig::default().with_trace(), false))
+    });
+    group.finish();
+}
+
+fn bench_jammer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/jammer");
+    group.throughput(Throughput::Elements(SLOTS));
+    group.bench_function("off", |b| b.iter(|| run(100, EngineConfig::default(), false)));
+    group.bench_function("on", |b| b.iter(|| run(100, EngineConfig::default(), true)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slot_throughput,
+    bench_trace_overhead,
+    bench_jammer_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the protocols: full ALIGNED and PUNCTUAL
+//! window executions, the size-estimation subroutine, the pecking-order
+//! tracker, and the baselines on a common batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
+use dcr_core::aligned::params::AlignedParams;
+use dcr_core::aligned::protocol::AlignedProtocol;
+use dcr_core::aligned::tracker::Tracker;
+use dcr_core::punctual::PunctualParams;
+use dcr_core::PunctualProtocol;
+use dcr_sim::engine::{Engine, EngineConfig};
+use dcr_sim::job::JobSpec;
+use dcr_sim::slot::Feedback;
+
+fn bench_aligned_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/aligned");
+    for class in [9u32, 11, 13] {
+        let w = 1u64 << class;
+        group.throughput(Throughput::Elements(w));
+        group.bench_with_input(BenchmarkId::new("class", class), &class, |b, &class| {
+            let params = AlignedParams::new(1, 2, class);
+            b.iter(|| {
+                let mut e = Engine::new(EngineConfig::aligned(), 7);
+                for i in 0..8 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 1 << class),
+                        Box::new(AlignedProtocol::new(params)),
+                    );
+                }
+                e.run().successes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_punctual_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/punctual");
+    group.sample_size(20);
+    for exp in [12u32, 14] {
+        let w = 1u64 << exp;
+        group.throughput(Throughput::Elements(w));
+        group.bench_with_input(BenchmarkId::new("window", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut e = Engine::new(EngineConfig::default(), 7);
+                for i in 0..8 {
+                    e.add_job(
+                        JobSpec::new(i, 0, w),
+                        Box::new(PunctualProtocol::new(PunctualParams::laptop())),
+                    );
+                }
+                e.run().successes()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracker_replay(c: &mut Criterion) {
+    // Pure tracker replay over a synthetic history — the per-slot cost every
+    // live job pays.
+    let mut group = c.benchmark_group("protocols/tracker");
+    let slots = 1u64 << 12;
+    group.throughput(Throughput::Elements(slots));
+    for top in [10u32, 14] {
+        group.bench_with_input(BenchmarkId::new("top_class", top), &top, |b, &top| {
+            let params = AlignedParams::new(1, 2, 8);
+            b.iter(|| {
+                let mut tr = Tracker::new(params, top, 0);
+                for t in 0..slots {
+                    let _ = tr.begin_slot(t);
+                    tr.end_slot(t, &Feedback::Silent);
+                }
+                tr.steps_of(top)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/baselines");
+    let w = 1u64 << 12;
+    group.throughput(Throughput::Elements(w));
+    group.bench_function("beb_batch32", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(EngineConfig::default(), 7);
+            for i in 0..32 {
+                e.add_job(JobSpec::new(i, 0, w), Box::new(BinaryExponentialBackoff::new()));
+            }
+            e.run().successes()
+        });
+    });
+    group.bench_function("sawtooth_batch32", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(EngineConfig::default(), 7);
+            for i in 0..32 {
+                e.add_job(JobSpec::new(i, 0, w), Box::new(Sawtooth::new()));
+            }
+            e.run().successes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aligned_window,
+    bench_punctual_window,
+    bench_tracker_replay,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks for workload machinery: γ-slack feasibility
+//! checking (the event-driven EDF sweep), feasibility-certified thinning,
+//! and instance generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcr_sim::rng::{SeedSeq, StreamLabel};
+use dcr_workloads::feasibility::edf_feasible;
+use dcr_workloads::generators::{aligned_classes, poisson, thin_to_feasible, ClassSpec};
+
+fn bench_edf_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/edf");
+    for n_exp in [10u32, 13, 16] {
+        let horizon = 1u64 << (n_exp + 4);
+        let inst = aligned_classes(
+            &[
+                ClassSpec { class: 8, jobs_per_window: 4 },
+                ClassSpec { class: 12, jobs_per_window: 32 },
+            ],
+            horizon,
+            None,
+        );
+        group.throughput(Throughput::Elements(inst.n() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("jobs", inst.n()),
+            &inst,
+            |b, inst| b.iter(|| edf_feasible(&inst.jobs, 8)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_thinning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/thin");
+    group.sample_size(20);
+    for horizon_exp in [14u32, 16] {
+        let horizon = 1u64 << horizon_exp;
+        group.bench_with_input(
+            BenchmarkId::new("horizon", horizon),
+            &horizon,
+            |b, &horizon| {
+                b.iter(|| {
+                    let mut rng = SeedSeq::new(3).rng(StreamLabel::Workload, 0);
+                    let raw = poisson(0.05, horizon, &[256, 1024, 4096], &mut rng);
+                    thin_to_feasible(raw, 1.0 / 8.0).n()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/generate");
+    group.bench_function("aligned_4class_2^16", |b| {
+        b.iter(|| {
+            aligned_classes(
+                &[
+                    ClassSpec { class: 8, jobs_per_window: 2 },
+                    ClassSpec { class: 10, jobs_per_window: 4 },
+                    ClassSpec { class: 12, jobs_per_window: 8 },
+                    ClassSpec { class: 14, jobs_per_window: 16 },
+                ],
+                1 << 16,
+                None,
+            )
+            .n()
+        });
+    });
+    group.bench_function("poisson_2^16", |b| {
+        b.iter(|| {
+            let mut rng = SeedSeq::new(5).rng(StreamLabel::Workload, 1);
+            poisson(0.05, 1 << 16, &[256, 4096], &mut rng).n()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_edf_feasibility, bench_thinning, bench_generation);
+criterion_main!(benches);

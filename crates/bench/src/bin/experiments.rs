@@ -1,0 +1,89 @@
+//! CLI entry point: regenerate the paper's figures and claim tables.
+//!
+//! ```text
+//! experiments [IDS…] [--quick] [--seed N] [--trials N] [--out DIR] [--list]
+//! ```
+//!
+//! With no ids, runs the full suite in order. Every run prints its seed;
+//! re-running with `--seed` reproduces output bit-for-bit. `--out DIR`
+//! additionally writes each experiment's report to `DIR/<id>.txt`.
+
+use dcr_bench::{run_experiment, ExpConfig, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::full();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = iter.next().expect("--out needs a directory");
+                out_dir = Some(v.into());
+            }
+            "--quick" => {
+                cfg = ExpConfig {
+                    quick: true,
+                    trials: cfg.trials.min(60),
+                    ..cfg
+                };
+            }
+            "--seed" => {
+                let v = iter.next().expect("--seed needs a value");
+                cfg.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--trials" => {
+                let v = iter.next().expect("--trials needs a value");
+                cfg.trials = v.parse().expect("--trials must be an integer");
+            }
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [IDS…] [--quick] [--seed N] [--trials N] \
+                     [--out DIR] [--list]\nids: {}",
+                    ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "contention-deadlines experiment suite — seed {}, {} mode\n",
+        cfg.seed,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id, &cfg) {
+            Some(report) => {
+                println!("==================== {id} ====================");
+                println!("{report}");
+                println!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create --out directory");
+                    std::fs::write(dir.join(format!("{id}.txt")), &report)
+                        .expect("write experiment report");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id {id}; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment configuration shared by every module.
+
+/// Knobs common to all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Master seed: every experiment derives all randomness from this, so
+    /// a printed seed replays the full suite bit-for-bit.
+    pub seed: u64,
+    /// Baseline Monte-Carlo trial count (experiments scale it per cell).
+    pub trials: u64,
+    /// Quick mode: shrink sweeps and trial counts ~10× (used by tests and
+    /// smoke runs; the shapes still show, the confidence intervals widen).
+    pub quick: bool,
+}
+
+impl ExpConfig {
+    /// The default full-fidelity configuration.
+    pub fn full() -> Self {
+        Self {
+            seed: 0x5eed_2020,
+            trials: 400,
+            quick: false,
+        }
+    }
+
+    /// Quick mode for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            trials: 60,
+            quick: true,
+            ..Self::full()
+        }
+    }
+
+    /// Trials for one sweep cell, scaled by quick mode.
+    pub fn cell_trials(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 8).max(10)
+        } else {
+            full
+        }
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scales_down() {
+        let q = ExpConfig::quick();
+        assert!(q.cell_trials(400) < ExpConfig::full().cell_trials(400));
+        assert!(q.cell_trials(8) >= 10);
+    }
+}

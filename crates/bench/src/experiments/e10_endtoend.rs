@@ -1,0 +1,233 @@
+//! **E10 — end-to-end shootout**: PUNCTUAL vs. the classic protocols on
+//! dynamic, unaligned, γ-slack-feasible traffic.
+//!
+//! The paper's motivating comparison: deadline-oblivious backoff (BEB,
+//! sawtooth, ALOHA, UNIFORM) against the deadline-aware PUNCTUAL, with an
+//! offline EDF genie as the upper bound. E10a runs mixed Poisson traffic;
+//! E10b runs a scaled harmonic burst and scores the most urgent quartile.
+//! (See the in-report note on which separations are measurable at laptop
+//! constants; the paper's headline separation is asymptotic.)
+
+use crate::config::ExpConfig;
+use crate::experiments::util::run_instance;
+use dcr_baselines::scheduled::scheduled_protocols;
+use dcr_baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
+use dcr_core::punctual::PunctualParams;
+use dcr_core::uniform::Uniform;
+use dcr_core::PunctualProtocol;
+use dcr_sim::engine::EngineConfig;
+use dcr_sim::metrics::SimReport;
+use dcr_sim::rng::{SeedSeq, StreamLabel};
+use dcr_sim::runner::run_trials;
+use dcr_stats::Table;
+use dcr_workloads::generators::{poisson, thin_to_feasible};
+use dcr_workloads::Instance;
+
+const SMALL_W: u64 = 1 << 12;
+const LARGE_W: u64 = 1 << 14;
+
+fn punctual_params() -> PunctualParams {
+    PunctualParams::laptop()
+}
+
+/// Poisson traffic thinned to 1/16-slack feasibility.
+fn make_instance(cfg: &ExpConfig) -> Instance {
+    let horizon = if cfg.quick { 1u64 << 15 } else { 1u64 << 17 };
+    let mut rng = SeedSeq::new(cfg.seed).rng(StreamLabel::Workload, 0xE10);
+    let raw = poisson(0.02, horizon, &[SMALL_W, LARGE_W], &mut rng);
+    thin_to_feasible(raw, 1.0 / 16.0)
+}
+
+struct Row {
+    overall: f64,
+    small: f64,
+    large: f64,
+}
+
+fn run_one(_cfg: &ExpConfig, instance: &Instance, proto: &str, seed: u64) -> SimReport {
+    match proto {
+        "punctual" => run_instance(
+            instance,
+            EngineConfig::default(),
+            None,
+            seed,
+            PunctualProtocol::factory(punctual_params()),
+        ),
+        "beb" => run_instance(
+            instance,
+            EngineConfig::default(),
+            None,
+            seed,
+            BinaryExponentialBackoff::factory(1024),
+        ),
+        "sawtooth" => run_instance(
+            instance,
+            EngineConfig::default(),
+            None,
+            seed,
+            Sawtooth::factory(),
+        ),
+        "aloha(3/w)" => run_instance(
+            instance,
+            EngineConfig::default(),
+            None,
+            seed,
+            FixedProbability::per_window(3.0),
+        ),
+        "uniform" => run_instance(instance, EngineConfig::default(), None, seed, |_| {
+            Box::new(Uniform::single())
+        }),
+        "edf-genie" => {
+            let protos = scheduled_protocols(&instance.jobs).expect("instance is feasible");
+            let mut it = protos.into_iter();
+            run_instance(instance, EngineConfig::default(), None, seed, move |_| {
+                Box::new(it.next().expect("one protocol per job"))
+            })
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn measure(cfg: &ExpConfig, instance: &Instance, proto: &str) -> Row {
+    let trials = cfg.cell_trials(24);
+    let results = run_trials(trials, cfg.seed ^ 0xE10E10, |_, seed| {
+        let r = run_one(cfg, instance, proto, seed);
+        (
+            r.success_fraction(),
+            r.success_fraction_for_window(SMALL_W).unwrap_or(1.0),
+            r.success_fraction_for_window(LARGE_W).unwrap_or(1.0),
+        )
+    });
+    let n = results.len() as f64;
+    Row {
+        overall: results.iter().map(|t| t.value.0).sum::<f64>() / n,
+        small: results.iter().map(|t| t.value.1).sum::<f64>() / n,
+        large: results.iter().map(|t| t.value.2).sum::<f64>() / n,
+    }
+}
+
+/// The fairness workload inside PUNCTUAL's operating envelope: the
+/// Lemma 5 harmonic shape scaled up — `n` jobs released together, job `j`
+/// with window `j·4096` — so the most urgent job has 4096 slots and the
+/// most patient has `n·4096`.
+fn fairness_instance(n: usize) -> Instance {
+    dcr_workloads::generators::harmonic(n, 1 << 12)
+}
+
+/// Success rate of the most urgent quartile on the fairness instance.
+fn urgent_quartile(cfg: &ExpConfig, instance: &Instance, proto: &str) -> f64 {
+    let trials = cfg.cell_trials(24);
+    let q = (instance.n() / 4).max(1);
+    let results = run_trials(trials, cfg.seed ^ 0xFA1A, |_, seed| {
+        let r = run_one(cfg, instance, proto, seed);
+        (0..q).filter(|&i| r.outcome(i as u32).is_success()).count() as f64 / q as f64
+    });
+    results.iter().map(|t| t.value).sum::<f64>() / results.len() as f64
+}
+
+/// Run E10.
+pub fn run(cfg: &ExpConfig) -> String {
+    let instance = make_instance(cfg);
+    let mut table = Table::new(vec![
+        "protocol",
+        "overall delivered",
+        "small-window (urgent)",
+        "large-window",
+    ])
+    .with_title(format!(
+        "E10a: end-to-end on Poisson traffic (n={}, windows {SMALL_W}/{LARGE_W}, \
+         1/16-slack), seed {}",
+        instance.n(),
+        cfg.seed
+    ));
+    let mut rows = Vec::new();
+    for proto in [
+        "edf-genie",
+        "punctual",
+        "sawtooth",
+        "beb",
+        "aloha(3/w)",
+        "uniform",
+    ] {
+        let row = measure(cfg, &instance, proto);
+        table.row(vec![
+            proto.to_string(),
+            format!("{:.3}", row.overall),
+            format!("{:.3}", row.small),
+            format!("{:.3}", row.large),
+        ]);
+        rows.push((proto, row));
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape checks: genie = 1.0; on lightly loaded feasible traffic every \
+         reasonable protocol is near-perfect — the separation is fairness, below\n",
+    );
+
+    // E10b: the fairness shootout (scaled harmonic instance).
+    let n = if cfg.quick { 16 } else { 24 };
+    let fair = fairness_instance(n);
+    let mut t2 = Table::new(vec!["protocol", "urgent-quartile delivered"]).with_title(format!(
+        "\nE10b: fairness — harmonic burst, n={n} jobs, w_j = j·4096, most urgent \
+         quartile, seed {}",
+        cfg.seed
+    ));
+    for proto in ["edf-genie", "punctual", "sawtooth", "beb", "aloha(3/w)", "uniform"] {
+        let u = urgent_quartile(cfg, &fair, proto);
+        t2.row(vec![proto.to_string(), format!("{u:.3}")]);
+    }
+    out.push_str(&t2.render());
+    out.push_str(
+        "\nshape check: PUNCTUAL must hold the urgent quartile near 1.0 (its per-job \
+         guarantee). NOTE an honest scale effect: windows large enough for PUNCTUAL's \
+         machinery are also large enough that the baselines rarely starve here — the \
+         contention that kills them needs tiny windows (E3, where their most-urgent \
+         delivery is 0.000) or adversarial sustained load beyond feasible instances. \
+         The paper's separation is asymptotic; at laptop constants the measurable \
+         wins are E3's fairness gradient and the E12 clock ablation.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genie_delivers_everything() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg);
+        let row = measure(&cfg, &inst, "edf-genie");
+        assert!((row.overall - 1.0).abs() < 1e-9, "{}", row.overall);
+    }
+
+    #[test]
+    fn instance_mixes_both_window_sizes() {
+        let inst = make_instance(&ExpConfig::quick());
+        let h = inst.window_histogram();
+        assert!(h.get(&SMALL_W).copied().unwrap_or(0) > 0);
+        assert!(h.get(&LARGE_W).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn punctual_competitive_with_uniform_overall() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg);
+        let p = measure(&cfg, &inst, "punctual");
+        let u = measure(&cfg, &inst, "uniform");
+        assert!(
+            p.overall >= u.overall - 0.05,
+            "punctual {} vs uniform {}",
+            p.overall,
+            u.overall
+        );
+    }
+
+    #[test]
+    fn punctual_holds_urgent_quartile_on_fairness_instance() {
+        let cfg = ExpConfig::quick();
+        let fair = fairness_instance(16);
+        let u = urgent_quartile(&cfg, &fair, "punctual");
+        assert!(u > 0.8, "urgent quartile {u}");
+    }
+}

@@ -1,0 +1,128 @@
+//! **E11 — Section 3 "Jamming"**: ALIGNED survives stochastic jamming with
+//! `p_jam ≤ 1/2`.
+//!
+//! Claim: the estimation and broadcast analyses (Lemmas 8–13) all tolerate
+//! an adversary that sees slot contents and jams with success probability
+//! `p_jam ≤ 1/2`. We sweep `p_jam` through and past the analyzed range for
+//! the all-successes adversary, and compare targeting policies
+//! (control-only — the paper's "skew the estimate" adversary — vs
+//! data-only) at `p_jam = 1/2`.
+
+use crate::config::ExpConfig;
+use crate::experiments::util::{run_instance, run_single_class};
+use dcr_core::aligned::params::AlignedParams;
+use dcr_core::aligned::protocol::AlignedProtocol;
+use dcr_sim::engine::EngineConfig;
+use dcr_sim::jamming::{JamPolicy, Jammer};
+use dcr_sim::runner::run_trials;
+use dcr_stats::{Proportion, Table};
+use dcr_workloads::generators::batch;
+
+const CLASS: u32 = 11;
+const N_JOBS: usize = 8;
+
+fn params() -> AlignedParams {
+    // λ=2 provides the margin the jamming analysis spends.
+    AlignedParams::new(2, 2, CLASS)
+}
+
+fn sweep_pjam(cfg: &ExpConfig, p_jam: f64) -> Proportion {
+    let trials = cfg.cell_trials(160);
+    let results = run_trials(
+        trials,
+        cfg.seed ^ ((p_jam * 1000.0) as u64),
+        |_, seed| run_single_class(params(), CLASS, N_JOBS, p_jam, seed).successes as u64,
+    );
+    let successes: u64 = results.iter().map(|t| t.value).sum();
+    Proportion::new(successes, trials * N_JOBS as u64)
+}
+
+fn sweep_policy(cfg: &ExpConfig, policy: JamPolicy, p_jam: f64) -> Proportion {
+    let instance = batch(N_JOBS, 1 << CLASS);
+    let trials = cfg.cell_trials(120);
+    let results = run_trials(trials, cfg.seed ^ 0xE11, |_, seed| {
+        let r = run_instance(
+            &instance,
+            EngineConfig::aligned(),
+            Some(Jammer::new(policy, p_jam)),
+            seed,
+            AlignedProtocol::factory(params()),
+        );
+        r.successes() as u64
+    });
+    let successes: u64 = results.iter().map(|t| t.value).sum();
+    Proportion::new(successes, trials * N_JOBS as u64)
+}
+
+/// Run E11.
+pub fn run(cfg: &ExpConfig) -> String {
+    let pjams: &[f64] = if cfg.quick {
+        &[0.0, 0.5, 0.75]
+    } else {
+        &[0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9]
+    };
+    let mut t1 = Table::new(vec!["p_jam", "per-job delivery rate"]).with_title(format!(
+        "E11a: ALIGNED (λ=2) under all-successes jamming, batch of {N_JOBS} in w=2^{CLASS}, \
+         seed {}",
+        cfg.seed
+    ));
+    let mut inside = Vec::new();
+    let mut beyond = Vec::new();
+    for &p in pjams {
+        let prop = sweep_pjam(cfg, p);
+        if p <= 0.5 {
+            inside.push(prop.estimate());
+        } else {
+            beyond.push(prop.estimate());
+        }
+        t1.row(vec![format!("{p:.2}"), prop.to_string()]);
+    }
+    let mut out = t1.render();
+
+    let mut t2 = Table::new(vec!["policy", "per-job delivery rate"]).with_title(format!(
+        "\nE11b: targeting policies at p_jam = 0.5 (engine adversary sees message contents), \
+         seed {}",
+        cfg.seed
+    ));
+    for (name, policy) in [
+        ("never", JamPolicy::Never),
+        ("all successes", JamPolicy::AllSuccesses),
+        ("control only (skew estimates)", JamPolicy::ControlOnly),
+        ("data only", JamPolicy::DataOnly),
+    ] {
+        let prop = sweep_policy(cfg, policy, 0.5);
+        t2.row(vec![name.to_string(), prop.to_string()]);
+    }
+    out.push_str(&t2.render());
+    out.push_str(&format!(
+        "\nshape check: delivery stays high for p_jam ≤ 0.5 (min {:.3}) and degrades \
+         beyond the analyzed regime\n",
+        inside.iter().copied().fold(1.0f64, f64::min)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_delivers() {
+        let p = sweep_pjam(&ExpConfig::quick(), 0.0);
+        assert!(p.estimate() > 0.97, "{p}");
+    }
+
+    #[test]
+    fn half_jamming_tolerated() {
+        let p = sweep_pjam(&ExpConfig::quick(), 0.5);
+        assert!(p.estimate() > 0.85, "{p}");
+    }
+
+    #[test]
+    fn control_only_jamming_does_not_break_estimates() {
+        // The paper's worried-about adversary: jam only control messages to
+        // skew n_ℓ. The τ inflation and equalizer phases must absorb it.
+        let p = sweep_policy(&ExpConfig::quick(), JamPolicy::ControlOnly, 0.5);
+        assert!(p.estimate() > 0.8, "{p}");
+    }
+}

@@ -1,0 +1,131 @@
+//! **E12 — the price of clocklessness**: PUNCTUAL vs. the global-clock
+//! shortcut.
+//!
+//! Section 4 motivates PUNCTUAL by noting that *with* a global clock,
+//! every job could trim its own window and run ALIGNED directly — no
+//! leader election, no round overhead. We run identical unaligned traffic
+//! under CLOCKED (trim + ALIGNED, clock supplied by the engine) and under
+//! PUNCTUAL (clock bootstrapped via leaders), isolating exactly what the
+//! timekeeping machinery costs: delivery rate and channel accesses.
+
+use crate::config::ExpConfig;
+use crate::experiments::util::run_instance;
+use dcr_core::clocked::{ClockedParams, ClockedProtocol};
+use dcr_core::punctual::PunctualParams;
+use dcr_core::PunctualProtocol;
+use dcr_sim::engine::EngineConfig;
+use dcr_sim::rng::{SeedSeq, StreamLabel};
+use dcr_sim::runner::run_trials;
+use dcr_stats::Table;
+use dcr_workloads::generators::{poisson, thin_to_feasible};
+use dcr_workloads::Instance;
+
+fn make_instance(cfg: &ExpConfig, window: u64) -> Instance {
+    let horizon = if cfg.quick { 1u64 << 15 } else { 1u64 << 17 };
+    let mut rng = SeedSeq::new(cfg.seed).rng(StreamLabel::Workload, 0xE12);
+    let raw = poisson(0.01, horizon, &[window], &mut rng);
+    thin_to_feasible(raw, 1.0 / 16.0)
+}
+
+struct Row {
+    delivered: f64,
+    mean_tx: f64,
+    mean_access: f64,
+}
+
+fn measure(cfg: &ExpConfig, instance: &Instance, clocked: bool) -> Row {
+    let trials = cfg.cell_trials(24);
+    let results = run_trials(trials, cfg.seed ^ 0xE12E12, |_, seed| {
+        let r = if clocked {
+            run_instance(
+                instance,
+                EngineConfig::aligned(),
+                None,
+                seed,
+                ClockedProtocol::factory(ClockedParams::laptop()),
+            )
+        } else {
+            run_instance(
+                instance,
+                EngineConfig::default(),
+                None,
+                seed,
+                PunctualProtocol::factory(PunctualParams::laptop()),
+            )
+        };
+        (r.success_fraction(), r.mean_transmissions(), r.mean_accesses())
+    });
+    let n = results.len() as f64;
+    Row {
+        delivered: results.iter().map(|t| t.value.0).sum::<f64>() / n,
+        mean_tx: results.iter().map(|t| t.value.1).sum::<f64>() / n,
+        mean_access: results.iter().map(|t| t.value.2).sum::<f64>() / n,
+    }
+}
+
+/// Run E12.
+pub fn run(cfg: &ExpConfig) -> String {
+    let windows: &[u64] = if cfg.quick {
+        &[1 << 13]
+    } else {
+        &[1 << 12, 1 << 13, 1 << 14]
+    };
+    let mut table = Table::new(vec![
+        "window",
+        "clock",
+        "delivered",
+        "mean tx/job",
+        "mean radio-on slots/job",
+    ])
+    .with_title(format!(
+        "E12: the price of clocklessness — identical Poisson traffic, seed {}",
+        cfg.seed
+    ));
+    for &w in windows {
+        let instance = make_instance(cfg, w);
+        for (label, clocked) in [("global (CLOCKED)", true), ("none (PUNCTUAL)", false)] {
+            let row = measure(cfg, &instance, clocked);
+            table.row(vec![
+                format!("{w} (n={})", instance.n()),
+                label.into(),
+                format!("{:.3}", row.delivered),
+                format!("{:.1}", row.mean_tx),
+                format!("{:.0}", row.mean_access),
+            ]);
+        }
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape check: CLOCKED ≥ PUNCTUAL on delivery (the clock is free \
+         information); PUNCTUAL pays extra transmissions for start messages, \
+         beacons, and claims — the measured cost of bootstrapping time\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocked_delivers_on_unaligned_traffic() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg, 1 << 13);
+        let row = measure(&cfg, &inst, true);
+        assert!(row.delivered > 0.85, "delivered={}", row.delivered);
+    }
+
+    #[test]
+    fn punctual_pays_more_transmissions() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg, 1 << 13);
+        let clocked = measure(&cfg, &inst, true);
+        let punctual = measure(&cfg, &inst, false);
+        assert!(
+            punctual.mean_tx > clocked.mean_tx,
+            "punctual {} vs clocked {}",
+            punctual.mean_tx,
+            clocked.mean_tx
+        );
+    }
+}

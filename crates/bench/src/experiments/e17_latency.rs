@@ -1,0 +1,173 @@
+//! **E17 — latency distributions** (beyond the paper).
+//!
+//! The paper guarantees *delivery by the deadline*, not low latency; the
+//! coordination machinery (estimation phases, round structure, trimmed
+//! windows starting in the future) defers transmissions by design. This
+//! experiment quantifies the latency tail each protocol produces on the
+//! same feasible traffic — the practical cost a latency-sensitive adopter
+//! would weigh against the deadline guarantee.
+
+use crate::config::ExpConfig;
+use crate::experiments::util::run_instance;
+use dcr_baselines::scheduled::scheduled_protocols;
+use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
+use dcr_core::punctual::PunctualParams;
+use dcr_core::uniform::Uniform;
+use dcr_core::PunctualProtocol;
+use dcr_sim::engine::EngineConfig;
+use dcr_sim::rng::{SeedSeq, StreamLabel};
+use dcr_sim::runner::run_trials;
+use dcr_stats::{bootstrap_mean_ci, quantile, Table};
+use dcr_workloads::generators::{poisson, thin_to_feasible};
+use dcr_workloads::Instance;
+
+const WINDOW: u64 = 1 << 13;
+
+fn make_instance(cfg: &ExpConfig) -> Instance {
+    let horizon = if cfg.quick { 1u64 << 15 } else { 1u64 << 16 };
+    let mut rng = SeedSeq::new(cfg.seed).rng(StreamLabel::Workload, 0xE17);
+    let raw = poisson(0.01, horizon, &[WINDOW], &mut rng);
+    thin_to_feasible(raw, 1.0 / 16.0)
+}
+
+struct Cell {
+    delivered: f64,
+    p50: f64,
+    p95: f64,
+    max: f64,
+    mean_lo: f64,
+    mean_hi: f64,
+}
+
+fn measure(cfg: &ExpConfig, instance: &Instance, proto: &str) -> Cell {
+    let trials = cfg.cell_trials(16);
+    let results = run_trials(trials, cfg.seed ^ 0xE17E17, |_, seed| {
+        let r = match proto {
+            "punctual" => run_instance(
+                instance,
+                EngineConfig::default(),
+                None,
+                seed,
+                PunctualProtocol::factory(PunctualParams::laptop()),
+            ),
+            "beb" => run_instance(
+                instance,
+                EngineConfig::default(),
+                None,
+                seed,
+                BinaryExponentialBackoff::factory(1024),
+            ),
+            "sawtooth" => run_instance(
+                instance,
+                EngineConfig::default(),
+                None,
+                seed,
+                Sawtooth::factory(),
+            ),
+            "uniform" => run_instance(instance, EngineConfig::default(), None, seed, |_| {
+                Box::new(Uniform::single())
+            }),
+            "edf-genie" => {
+                let protos = scheduled_protocols(&instance.jobs).expect("feasible");
+                let mut it = protos.into_iter();
+                run_instance(instance, EngineConfig::default(), None, seed, move |_| {
+                    Box::new(it.next().expect("one per job"))
+                })
+            }
+            _ => unreachable!(),
+        };
+        let latencies: Vec<f64> = r.latencies().into_iter().map(|l| l as f64).collect();
+        (r.success_fraction(), latencies)
+    });
+    let mut all: Vec<f64> = Vec::new();
+    let mut delivered = 0.0;
+    for t in &results {
+        delivered += t.value.0;
+        all.extend_from_slice(&t.value.1);
+    }
+    let ci = bootstrap_mean_ci(&all, cfg.seed).expect("non-empty latencies");
+    Cell {
+        delivered: delivered / results.len() as f64,
+        p50: quantile(&all, 0.5).unwrap_or(f64::NAN),
+        p95: quantile(&all, 0.95).unwrap_or(f64::NAN),
+        max: quantile(&all, 1.0).unwrap_or(f64::NAN),
+        mean_lo: ci.lo,
+        mean_hi: ci.hi,
+    }
+}
+
+/// Run E17.
+pub fn run(cfg: &ExpConfig) -> String {
+    let instance = make_instance(cfg);
+    let mut table = Table::new(vec![
+        "protocol",
+        "delivered",
+        "latency p50",
+        "p95",
+        "max",
+        "mean [bootstrap 95%]",
+    ])
+    .with_title(format!(
+        "E17 (beyond the paper): delivery latency — Poisson traffic, n={}, w={WINDOW}, \
+         seed {}",
+        instance.n(),
+        cfg.seed
+    ));
+    for proto in ["edf-genie", "beb", "sawtooth", "uniform", "punctual"] {
+        let c = measure(cfg, &instance, proto);
+        table.row(vec![
+            proto.into(),
+            format!("{:.3}", c.delivered),
+            format!("{:.0}", c.p50),
+            format!("{:.0}", c.p95),
+            format!("{:.0}", c.max),
+            format!("[{:.0}, {:.0}]", c.mean_lo, c.mean_hi),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nshape check: the greedy protocols (BEB/sawtooth) deliver in single-digit \
+         slots on light traffic; UNIFORM's latency is uniform over the window by \
+         construction (mean ≈ w/2); PUNCTUAL's p50 also sits in the thousands — its \
+         machinery spends the window on purpose, converting latency headroom into a \
+         by-deadline guarantee\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beb_latency_is_small_on_light_traffic() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg);
+        let c = measure(&cfg, &inst, "beb");
+        assert!(c.p95 < 100.0, "BEB p95 latency {}", c.p95);
+    }
+
+    #[test]
+    fn punctual_latency_larger_but_within_window() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg);
+        let c = measure(&cfg, &inst, "punctual");
+        assert!(c.max < WINDOW as f64, "latency must stay inside the window");
+        let b = measure(&cfg, &inst, "beb");
+        assert!(c.p50 > b.p50, "punctual trades latency for the guarantee");
+    }
+
+    #[test]
+    fn uniform_mean_latency_near_half_window() {
+        let cfg = ExpConfig::quick();
+        let inst = make_instance(&cfg);
+        let c = measure(&cfg, &inst, "uniform");
+        let half = WINDOW as f64 / 2.0;
+        assert!(
+            c.mean_lo < half && half < c.mean_hi * 1.2,
+            "uniform mean ≈ w/2: [{}, {}]",
+            c.mean_lo,
+            c.mean_hi
+        );
+    }
+}

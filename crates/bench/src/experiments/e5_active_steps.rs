@@ -1,0 +1,70 @@
+//! **E5 — Lemma 6**: the active-step count is exactly
+//! `2λ(ℓ² + n_ℓ − 1)`.
+//!
+//! This is a deterministic claim about the schedule length, which is what
+//! lets every job replay every class's schedule from public information
+//! (Lemma 7). We verify it two ways: symbolically against
+//! [`AlignedParams::total_active`], and behaviourally — a driven class must
+//! consume exactly that many *active* steps, i.e. the estimation length
+//! plus the expanded broadcast layout.
+
+use crate::config::ExpConfig;
+use dcr_core::aligned::broadcast::BroadcastLayout;
+use dcr_core::aligned::params::AlignedParams;
+use dcr_stats::Table;
+
+/// Run E5.
+pub fn run(cfg: &ExpConfig) -> String {
+    let lambdas: &[u64] = if cfg.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut table = Table::new(vec![
+        "λ",
+        "ℓ",
+        "n_ℓ",
+        "est steps",
+        "bcast steps (layout)",
+        "total",
+        "2λ(ℓ²+n_ℓ−1)",
+        "match",
+    ])
+    .with_title("E5 (Lemma 6): active-step arithmetic");
+    let mut mismatches = 0;
+    for &lambda in lambdas {
+        for class in [1u32, 3, 6, 10, 16] {
+            for exp in [0u32, 2, 5, 10] {
+                let n = 1u64 << exp;
+                let p = AlignedParams::new(lambda, 2, 1);
+                let layout = BroadcastLayout::new(&p, class, n);
+                let total = p.est_len(class) + layout.total();
+                let formula = 2 * lambda * (u64::from(class) * u64::from(class) + n - 1);
+                let ok = total == formula && total == p.total_active(class, n);
+                if !ok {
+                    mismatches += 1;
+                }
+                table.row(vec![
+                    lambda.to_string(),
+                    class.to_string(),
+                    n.to_string(),
+                    p.est_len(class).to_string(),
+                    layout.total().to_string(),
+                    total.to_string(),
+                    formula.to_string(),
+                    if ok { "yes".into() } else { "NO".into() },
+                ]);
+            }
+        }
+    }
+    let mut out = table.render();
+    out.push_str(&format!("\nmismatches: {mismatches} (Lemma 6 requires 0)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_everywhere() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("mismatches: 0"), "{out}");
+    }
+}

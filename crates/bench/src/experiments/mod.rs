@@ -1,0 +1,23 @@
+//! One module per experiment; ids match `DESIGN.md` §4.
+
+pub mod a1_no_deferral;
+pub mod a2_params;
+pub mod e10_endtoend;
+pub mod e11_jamming;
+pub mod e12_clock;
+pub mod e13_energy;
+pub mod e14_makespan;
+pub mod e15_punctual_jamming;
+pub mod e16_adversarial;
+pub mod e17_latency;
+pub mod e1_contention;
+pub mod e2_uniform;
+pub mod e3_starvation;
+pub mod e4_estimation;
+pub mod e5_active_steps;
+pub mod e6_truncation;
+pub mod e7_aligned_hp;
+pub mod e8_leader;
+pub mod e9_anarchist;
+pub mod fig1;
+pub mod util;

@@ -1,0 +1,232 @@
+//! Shared helpers for the experiment modules.
+
+use dcr_sim::engine::{Action, Engine, EngineConfig, JobCtx, Protocol};
+use dcr_sim::jamming::Jammer;
+use dcr_sim::message::{ControlMsg, Payload};
+use dcr_sim::metrics::SimReport;
+use dcr_sim::slot::Feedback;
+use dcr_sim::trace::{SlotOutcome, SlotRecord};
+use dcr_workloads::Instance;
+use rand::{Rng, RngCore};
+
+/// A station that transmits a **control** message with fixed probability
+/// `p` in every slot, forever. Because it never sends a data payload the
+/// engine never retires it, which makes it the right tool for holding the
+/// channel at a precise contention level (experiment E1).
+#[derive(Debug, Clone, Copy)]
+pub struct PersistentP(pub f64);
+
+/// `ControlMsg::kind` used by [`PersistentP`] probes.
+pub const CTRL_PROBE: u16 = 99;
+
+impl Protocol for PersistentP {
+    fn act(&mut self, _ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+        if rng.gen_bool(self.0) {
+            Action::Transmit(Payload::Control(ControlMsg::of_kind(CTRL_PROBE)))
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+/// Run `instance` with per-job protocols from `factory`.
+pub fn run_instance<F>(
+    instance: &Instance,
+    config: EngineConfig,
+    jammer: Option<Jammer>,
+    seed: u64,
+    factory: F,
+) -> SimReport
+where
+    F: FnMut(&dcr_sim::job::JobSpec) -> Box<dyn Protocol>,
+{
+    let mut engine = Engine::new(config, seed);
+    if let Some(j) = jammer {
+        engine.set_jammer(j);
+    }
+    engine.add_jobs(&instance.jobs, factory);
+    engine.run()
+}
+
+/// Reconstruct the [`Feedback`] a listener saw from a trace record.
+pub fn feedback_of(rec: &SlotRecord) -> Feedback {
+    match rec.outcome {
+        SlotOutcome::Silent => Feedback::Silent,
+        SlotOutcome::Success { src, .. } => Feedback::Success {
+            src,
+            payload: rec.payload.expect("success records carry payloads"),
+        },
+        SlotOutcome::Collision { .. } | SlotOutcome::Jammed { .. } => Feedback::Noise,
+    }
+}
+
+/// Find the PUNCTUAL round anchor in a trace: the first busy-busy-silent
+/// run (start pair plus its guard slot — the same disambiguation the
+/// protocol's synchronizer uses, since anarchy slots can extend a busy run
+/// leftward). Returns the slot index of the round start.
+pub fn find_round_anchor(trace: &[SlotRecord]) -> Option<u64> {
+    let busy = |r: &SlotRecord| !matches!(r.outcome, SlotOutcome::Silent);
+    for win in trace.windows(3) {
+        if busy(&win[0])
+            && busy(&win[1])
+            && !busy(&win[2])
+            && win[1].slot == win[0].slot + 1
+            && win[2].slot == win[1].slot + 1
+        {
+            return Some(win[0].slot);
+        }
+    }
+    None
+}
+
+/// Result of a manually driven single-class ALIGNED run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassRun {
+    /// The estimate the class computed (`None` if truncated mid-estimation).
+    pub estimate: Option<u64>,
+    /// Jobs that delivered their data message.
+    pub successes: usize,
+    /// Jobs that gave up (schedule completed or window ended without them).
+    pub gave_up: usize,
+    /// Slots consumed until every job finished (or the window ended).
+    pub slots_used: u64,
+}
+
+/// Drive `n` [`dcr_core::aligned::protocol::AlignedJob`] machines of class
+/// `class` through one window `[0, 2^class)` with a stochastic jammer that
+/// kills each would-be success with probability `p_jam` (the Section 3
+/// adversary with an always-attempt policy). Bypassing the engine lets
+/// experiments read protocol internals (the estimate) directly.
+pub fn run_single_class(
+    params: dcr_core::aligned::params::AlignedParams,
+    class: u32,
+    n: usize,
+    p_jam: f64,
+    seed: u64,
+) -> ClassRun {
+    use dcr_core::aligned::protocol::{AlignedAction, AlignedJob};
+    use dcr_sim::rng::{SeedSeq, StreamLabel};
+
+    let seeds = SeedSeq::new(seed);
+    let mut rngs: Vec<_> = (0..n)
+        .map(|i| seeds.rng(StreamLabel::Job, i as u64))
+        .collect();
+    let mut jam_rng = seeds.rng(StreamLabel::Jammer, 0);
+    let mut jobs: Vec<AlignedJob> = (0..n)
+        .map(|i| AlignedJob::new(params, i as u32, class, 0))
+        .collect();
+
+    let w = 1u64 << class;
+    let mut slots_used = w;
+    for vt in 0..w {
+        let mut txs: Vec<(usize, Payload)> = Vec::new();
+        for (i, job) in jobs.iter_mut().enumerate() {
+            if job.finished() {
+                continue;
+            }
+            match job.decide(vt, &mut rngs[i]) {
+                AlignedAction::Idle => {}
+                AlignedAction::Control => txs.push((i, job.control_payload())),
+                AlignedAction::Data => txs.push((i, job.data_payload())),
+            }
+        }
+        let fb = match txs.len() {
+            0 => Feedback::Silent,
+            1 if p_jam > 0.0 && jam_rng.gen_bool(p_jam) => Feedback::Noise,
+            1 => Feedback::Success {
+                src: txs[0].0 as u32,
+                payload: txs[0].1,
+            },
+            _ => Feedback::Noise,
+        };
+        let mut all_done = true;
+        for job in jobs.iter_mut() {
+            if !job.finished() {
+                job.observe(vt, &fb);
+            }
+            all_done &= job.finished();
+        }
+        if all_done {
+            slots_used = vt + 1;
+            break;
+        }
+    }
+    ClassRun {
+        estimate: jobs.first().and_then(|j| j.estimate()),
+        successes: jobs.iter().filter(|j| j.succeeded()).count(),
+        gave_up: jobs.iter().filter(|j| j.gave_up()).count(),
+        slots_used,
+    }
+}
+
+/// Mean of an iterator of f64 (NaN when empty).
+pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for x in xs {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcr_sim::job::JobSpec;
+
+    #[test]
+    fn persistent_probe_holds_contention() {
+        let mut e = Engine::new(EngineConfig::default().with_trace(), 3);
+        for i in 0..10 {
+            e.add_job(JobSpec::new(i, 0, 500), Box::new(PersistentP(0.1)));
+        }
+        let r = e.run();
+        // Nobody ever succeeds with data; jobs live the whole window.
+        assert_eq!(r.successes(), 0);
+        assert_eq!(r.slots_run, 500);
+        // Contention declared every slot ≈ 1.0.
+        let t = r.trace.as_ref().unwrap();
+        assert!((t[100].declared_contention - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchor_detection() {
+        let mk = |slot, busy| SlotRecord {
+            slot,
+            outcome: if busy {
+                SlotOutcome::Collision { n_tx: 2 }
+            } else {
+                SlotOutcome::Silent
+            },
+            live_jobs: 0,
+            declared_contention: 0.0,
+            payload: None,
+        };
+        let trace = vec![
+            mk(0, false),
+            mk(1, true),
+            mk(2, false),
+            mk(3, true),
+            mk(4, true),
+            mk(5, false),
+        ];
+        assert_eq!(find_round_anchor(&trace), Some(3));
+        let silent = vec![mk(0, false), mk(1, false)];
+        assert_eq!(find_round_anchor(&silent), None);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert!((mean([1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(std::iter::empty()).is_nan());
+    }
+}

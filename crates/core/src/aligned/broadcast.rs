@@ -1,0 +1,187 @@
+//! The broadcast ("backon") schedule layout (Section 3, "Broadcast";
+//! Lemma 13).
+//!
+//! Given class `ℓ` and estimate `n_ℓ`, the broadcast component consists of
+//! phases numbered `0, 1, …, log2(n_ℓ) + ℓ − 1`:
+//!
+//! * for `i < log2(n_ℓ)` the phase length is `λ·n_ℓ/2^i` (the *decreasing*
+//!   phases);
+//! * the final `ℓ` phases each have length `λℓ` (the *equalizer* phases
+//!   that convert the tail into a high-probability bound).
+//!
+//! A phase of length `λX` is split into `λ` **subphases** of length `X`;
+//! each still-live job transmits its data message in one uniformly random
+//! slot of every subphase until it succeeds.
+//!
+//! [`BroadcastLayout`] precomputes the subphase table so that mapping an
+//! active-step index to (subphase, offset, length) is a binary search.
+
+use crate::aligned::params::AlignedParams;
+use serde::{Deserialize, Serialize};
+
+/// One subphase of the broadcast schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subphase {
+    /// First broadcast-step index of this subphase.
+    pub start: u64,
+    /// Length `X` of the subphase (a job picks one slot in `[0, X)`).
+    pub len: u64,
+}
+
+/// Position of a broadcast step inside its subphase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubphasePos {
+    /// Index of the subphase in the layout.
+    pub subphase: usize,
+    /// Offset of this step inside the subphase (`0 ≤ offset < len`).
+    pub offset: u64,
+    /// Subphase length `X`.
+    pub len: u64,
+}
+
+/// The fully expanded subphase table for one `(class, estimate)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastLayout {
+    subphases: Vec<Subphase>,
+    total: u64,
+}
+
+impl BroadcastLayout {
+    /// Build the layout. `estimate` must be a power of two (`τ·2^j` always
+    /// is) or zero, in which case the layout is empty.
+    pub fn new(params: &AlignedParams, class: u32, estimate: u64) -> Self {
+        if estimate == 0 {
+            return Self {
+                subphases: Vec::new(),
+                total: 0,
+            };
+        }
+        assert!(estimate.is_power_of_two());
+        let mut subphases = Vec::new();
+        let mut cursor = 0u64;
+        let mut push_phase = |x: u64, cursor: &mut u64| {
+            for _ in 0..params.lambda {
+                subphases.push(Subphase {
+                    start: *cursor,
+                    len: x,
+                });
+                *cursor += x;
+            }
+        };
+        // Decreasing phases: X = n, n/2, …, 2.
+        let mut x = estimate;
+        while x >= 2 {
+            push_phase(x, &mut cursor);
+            x /= 2;
+        }
+        // Equalizer phases: ℓ phases of X = ℓ.
+        for _ in 0..class {
+            push_phase(u64::from(class), &mut cursor);
+        }
+        let total = cursor;
+        debug_assert_eq!(total, params.broadcast_len(class, estimate));
+        Self { subphases, total }
+    }
+
+    /// Total broadcast steps.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of subphases.
+    pub fn subphase_count(&self) -> usize {
+        self.subphases.len()
+    }
+
+    /// The subphases, in order.
+    pub fn subphases(&self) -> &[Subphase] {
+        &self.subphases
+    }
+
+    /// Locate broadcast step `step ∈ [0, total)`.
+    pub fn position(&self, step: u64) -> SubphasePos {
+        assert!(step < self.total, "step {step} out of {}", self.total);
+        // Binary search for the last subphase with start <= step.
+        let idx = match self.subphases.binary_search_by_key(&step, |s| s.start) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let sp = self.subphases[idx];
+        SubphasePos {
+            subphase: idx,
+            offset: step - sp.start,
+            len: sp.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(lambda: u64) -> AlignedParams {
+        AlignedParams::new(lambda, 8, 1)
+    }
+
+    #[test]
+    fn total_matches_lemma6_component() {
+        for &lambda in &[1, 2, 3] {
+            let p = params(lambda);
+            for class in 1..8u32 {
+                for exp in 0..8u32 {
+                    let n = 1u64 << exp;
+                    let l = BroadcastLayout::new(&p, class, n);
+                    assert_eq!(l.total(), p.broadcast_len(class, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subphase_structure_for_small_case() {
+        // λ=2, ℓ=2, n=4: decreasing phases X=4, X=2 (2 subphases each),
+        // then 2 equalizer phases of X=2 (2 subphases each).
+        let l = BroadcastLayout::new(&params(2), 2, 4);
+        let lens: Vec<u64> = l.subphases().iter().map(|s| s.len).collect();
+        assert_eq!(lens, vec![4, 4, 2, 2, 2, 2, 2, 2]);
+        assert_eq!(l.total(), 8 + 4 + 8);
+    }
+
+    #[test]
+    fn position_roundtrip() {
+        let l = BroadcastLayout::new(&params(2), 3, 8);
+        let mut steps_seen = 0u64;
+        for (i, sp) in l.subphases().iter().enumerate() {
+            for off in 0..sp.len {
+                let pos = l.position(sp.start + off);
+                assert_eq!(pos.subphase, i);
+                assert_eq!(pos.offset, off);
+                assert_eq!(pos.len, sp.len);
+                steps_seen += 1;
+            }
+        }
+        assert_eq!(steps_seen, l.total());
+    }
+
+    #[test]
+    fn estimate_one_has_no_decreasing_phases() {
+        // n = 1: no X >= 2 decreasing phase; only the ℓ·λ equalizers.
+        let l = BroadcastLayout::new(&params(2), 3, 1);
+        assert_eq!(l.subphase_count(), 3 * 2);
+        assert!(l.subphases().iter().all(|s| s.len == 3));
+    }
+
+    #[test]
+    fn zero_estimate_empty() {
+        let l = BroadcastLayout::new(&params(2), 3, 0);
+        assert_eq!(l.total(), 0);
+        assert_eq!(l.subphase_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn position_past_end_panics() {
+        let l = BroadcastLayout::new(&params(1), 1, 2);
+        let _ = l.position(l.total());
+    }
+}

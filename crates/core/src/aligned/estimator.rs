@@ -1,0 +1,127 @@
+//! The size-estimation protocol (Section 3, "Size-estimation protocol";
+//! Lemmas 8–10).
+//!
+//! For job class `ℓ` the protocol runs `ℓ` phases of `λℓ` steps. In phase
+//! `i ∈ {1, …, ℓ}` every job in the class transmits a control ping with
+//! probability `1/2^i`; everyone counts the successful transmissions per
+//! phase. The estimate is `n_ℓ = τ · 2^j` where `j` is the phase with the
+//! most successes — an intentional *over*-estimate (Lemma 8: w.h.p.
+//! `2n̂ ≤ n_ℓ ≤ τ²n̂`).
+//!
+//! The counting side lives here; it is replicated inside every job's
+//! [`crate::aligned::tracker::Tracker`] because the estimate determines how
+//! long every class's schedule is (Lemma 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-phase success counts for one class's estimation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Estimation {
+    /// `counts[i]` = successes observed during phase `i + 1`.
+    counts: Vec<u64>,
+}
+
+impl Estimation {
+    /// Fresh estimation state for class `ℓ` (`ℓ` phases).
+    pub fn new(class: u32) -> Self {
+        Self {
+            counts: vec![0; class as usize],
+        }
+    }
+
+    /// Record the outcome of one estimation step in `phase` (1-based).
+    pub fn record(&mut self, phase: u32, success: bool) {
+        assert!(phase >= 1 && phase as usize <= self.counts.len());
+        if success {
+            self.counts[phase as usize - 1] += 1;
+        }
+    }
+
+    /// Success count of `phase` (1-based).
+    pub fn count(&self, phase: u32) -> u64 {
+        self.counts[phase as usize - 1]
+    }
+
+    /// The winning phase `j` (1-based; ties broken toward the smaller
+    /// phase), or `None` if no phase saw a single success — the "class
+    /// looks empty" outcome.
+    pub fn argmax_phase(&self) -> Option<u32> {
+        let (best_idx, &best) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        (best > 0).then_some(best_idx as u32 + 1)
+    }
+
+    /// The resulting estimate `n_ℓ = τ·2^j`, or `0` when the class looks
+    /// empty (no successes at all). A zero estimate makes the class skip
+    /// its broadcast component entirely; the paper only defines the zero
+    /// estimate for truncation, and an all-silent estimation is the same
+    /// evidence situation (nested classes must not pay `Θ(λτ)` slots for
+    /// every empty class in every window, or Lemma 12's accounting breaks).
+    pub fn estimate(&self, tau: u64) -> u64 {
+        match self.argmax_phase() {
+            None => 0,
+            Some(j) => tau << j,
+        }
+    }
+
+    /// The per-step transmission probability a class member uses in
+    /// `phase` (1-based): `1/2^phase`.
+    pub fn tx_probability(phase: u32) -> f64 {
+        0.5f64.powi(phase as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_class_estimates_zero() {
+        let e = Estimation::new(5);
+        assert_eq!(e.argmax_phase(), None);
+        assert_eq!(e.estimate(8), 0);
+    }
+
+    #[test]
+    fn argmax_and_estimate() {
+        let mut e = Estimation::new(4);
+        e.record(1, true);
+        e.record(3, true);
+        e.record(3, true);
+        assert_eq!(e.argmax_phase(), Some(3));
+        assert_eq!(e.estimate(8), 8 << 3);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_phase() {
+        let mut e = Estimation::new(4);
+        e.record(2, true);
+        e.record(4, true);
+        assert_eq!(e.argmax_phase(), Some(2));
+    }
+
+    #[test]
+    fn failures_do_not_count() {
+        let mut e = Estimation::new(3);
+        e.record(2, false);
+        assert_eq!(e.count(2), 0);
+        assert_eq!(e.estimate(8), 0);
+    }
+
+    #[test]
+    fn tx_probability_halves_per_phase() {
+        assert_eq!(Estimation::tx_probability(1), 0.5);
+        assert_eq!(Estimation::tx_probability(2), 0.25);
+        assert_eq!(Estimation::tx_probability(10), 1.0 / 1024.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phase_out_of_range_panics() {
+        let mut e = Estimation::new(2);
+        e.record(3, true);
+    }
+}

@@ -1,0 +1,32 @@
+//! **ALIGNED** — contention resolution for power-of-2-aligned windows
+//! (Section 3 of the paper).
+//!
+//! Every window has size `2^ℓ` and starts at a multiple of `2^ℓ`. Jobs
+//! sharing the exact same window form **job class ℓ**; classes are
+//! scheduled by *pecking order* — the smallest class with unfinished work
+//! owns the current slot, and larger classes passively simulate it
+//! ([`tracker`]). Within a class the algorithm is:
+//!
+//! 1. **Estimation** ([`estimator`]): `ℓ` phases of `λℓ` slots; in phase
+//!    `i` each job transmits a control message with probability `1/2^i`;
+//!    the estimate is `n_ℓ = τ·2^j` for the phase `j` with most successes.
+//! 2. **Broadcast** ([`broadcast`]): decreasing phases of lengths
+//!    `λn_ℓ, λn_ℓ/2, …, 2λ`, then `ℓ` equalizer phases of length `λℓ`;
+//!    each phase of length `λX` splits into `λ` subphases of length `X`,
+//!    and each still-live job transmits its data message in one uniformly
+//!    random slot per subphase.
+//! 3. **Truncation**: when the window ends, unfinished jobs give up.
+//!
+//! The number of active steps a class consumes is a deterministic function
+//! of `ℓ` and the (publicly observable) estimate — Lemma 6:
+//! `2λ(ℓ² + n_ℓ − 1)` — which is what lets every job replay every class's
+//! schedule from channel feedback alone (Lemma 7).
+
+pub mod broadcast;
+pub mod estimator;
+pub mod params;
+pub mod protocol;
+pub mod tracker;
+
+/// `ControlMsg::kind` used for estimation pings.
+pub const CTRL_ESTIMATE: u16 = 10;

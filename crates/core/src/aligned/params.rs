@@ -1,0 +1,167 @@
+//! ALIGNED protocol parameters and the active-step arithmetic of Lemma 6.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the ALIGNED protocol.
+///
+/// The paper uses one symbol `λ` for every constant that trades running
+/// time against failure probability, and fixes `τ = 64` in the proof of
+/// Lemma 8 while noting that "we do not attempt to optimize the constants".
+/// Both presets keep every structural property of the algorithm; they only
+/// move the window sizes at which the asymptotics become visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignedParams {
+    /// The repetition/length parameter `λ` (phases per estimation step
+    /// count, subphases per broadcast phase).
+    pub lambda: u64,
+    /// The estimate inflation factor `τ` (a power of two `≥ 2`). The
+    /// estimate is `τ·2^j`, biased upward so the broadcast schedule is
+    /// long enough w.h.p.
+    pub tau: u64,
+    /// The smallest job class in the system, `ℓ_min = ⌈log2 w_min⌉`.
+    /// γ-slack feasibility forces `w_min ≥ 1/γ`, so this encodes γ.
+    pub min_class: u32,
+}
+
+impl AlignedParams {
+    /// Laptop-scale defaults: small constants so that the polynomial decay
+    /// regimes are observable at windows of `2^6 … 2^14` slots.
+    pub fn new(lambda: u64, tau: u64, min_class: u32) -> Self {
+        let p = Self {
+            lambda,
+            tau,
+            min_class,
+        };
+        p.validate();
+        p
+    }
+
+    /// Constants exactly as in the paper's proofs (`τ = 64`); needs very
+    /// large windows before the high-probability bounds engage.
+    pub fn paper() -> Self {
+        Self::new(4, 64, 2)
+    }
+
+    fn validate(&self) {
+        assert!(self.lambda >= 1, "lambda must be >= 1");
+        assert!(
+            self.tau >= 2 && self.tau.is_power_of_two(),
+            "tau must be a power of two >= 2"
+        );
+        assert!(self.min_class >= 1, "min_class must be >= 1 (windows >= 2)");
+    }
+
+    /// Steps in one estimation phase for class `ℓ`: `λℓ`.
+    #[inline]
+    pub fn est_phase_len(&self, class: u32) -> u64 {
+        self.lambda * u64::from(class)
+    }
+
+    /// Total estimation steps `T_ℓ = λℓ²`.
+    #[inline]
+    pub fn est_len(&self, class: u32) -> u64 {
+        self.lambda * u64::from(class) * u64::from(class)
+    }
+
+    /// Total broadcast steps for class `ℓ` given estimate `n_ℓ`
+    /// (`0` means "estimation saw an empty class; skip broadcast"):
+    /// `λ(2n_ℓ − 2) + λℓ²`.
+    #[inline]
+    pub fn broadcast_len(&self, class: u32, estimate: u64) -> u64 {
+        if estimate == 0 {
+            return 0;
+        }
+        debug_assert!(estimate.is_power_of_two());
+        self.lambda * (2 * estimate - 2) + self.lambda * u64::from(class) * u64::from(class)
+    }
+
+    /// Lemma 6: total active steps for a class = estimation + broadcast
+    /// `= 2λ(ℓ² + n_ℓ − 1)` when `n_ℓ ≥ 1`.
+    #[inline]
+    pub fn total_active(&self, class: u32, estimate: u64) -> u64 {
+        self.est_len(class) + self.broadcast_len(class, estimate)
+    }
+
+    /// The fraction of any large window that is consumed by estimation
+    /// runs alone (jobs or no jobs): `λ · Σ_{ℓ ≥ min_class} ℓ²/2^ℓ`.
+    ///
+    /// This is the deterministic "summation term" of Lemma 12; the paper's
+    /// "there exists a small enough γ" is exactly the requirement that this
+    /// fraction (plus the estimate-driven term) stays below 1. Experiments
+    /// and multi-class instances must choose `min_class` (equivalently γ)
+    /// so this is comfortably under 1/2 — the helper makes the constraint
+    /// checkable instead of folklore.
+    pub fn overhead_fraction(&self) -> f64 {
+        let mut total = 0.0;
+        for l in self.min_class..self.min_class + 64 {
+            let term = (l as f64) * (l as f64) / 2f64.powi(l as i32);
+            total += term;
+            if term < 1e-12 {
+                break;
+            }
+        }
+        self.lambda as f64 * total
+    }
+}
+
+impl Default for AlignedParams {
+    fn default() -> Self {
+        Self::new(2, 8, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma6_formula() {
+        // total_active must equal the paper's closed form 2λ(ℓ² + n − 1).
+        for &lambda in &[1u64, 2, 4] {
+            let p = AlignedParams::new(lambda, 8, 1);
+            for class in 1..=16u32 {
+                for exp in 0..=10u32 {
+                    let n = 1u64 << exp;
+                    let expect = 2 * lambda * (u64::from(class) * u64::from(class) + n - 1);
+                    assert_eq!(
+                        p.total_active(class, n),
+                        expect,
+                        "λ={lambda} ℓ={class} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_estimate_skips_broadcast() {
+        let p = AlignedParams::default();
+        assert_eq!(p.broadcast_len(5, 0), 0);
+        assert_eq!(p.total_active(5, 0), p.est_len(5));
+    }
+
+    #[test]
+    fn estimation_structure() {
+        let p = AlignedParams::new(3, 8, 1);
+        assert_eq!(p.est_phase_len(4), 12);
+        assert_eq!(p.est_len(4), 48); // 4 phases × 12
+    }
+
+    #[test]
+    fn paper_preset() {
+        let p = AlignedParams::paper();
+        assert_eq!(p.tau, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn tau_must_be_power_of_two() {
+        let _ = AlignedParams::new(2, 6, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_class")]
+    fn min_class_zero_rejected() {
+        let _ = AlignedParams::new(2, 8, 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The per-job ALIGNED protocol.
+//!
+//! [`AlignedJob`] is the reusable state machine: it consumes a stream of
+//! *virtual* slots (plain aligned slots in Section 3; one aligned slot per
+//! round inside PUNCTUAL) and decides when to transmit estimation pings and
+//! data. [`AlignedProtocol`] adapts it to the [`dcr_sim::engine::Protocol`]
+//! trait for the pure aligned setting.
+
+use crate::aligned::estimator::Estimation;
+use crate::aligned::params::AlignedParams;
+use crate::aligned::tracker::{ActiveStep, StepKind, Tracker};
+use crate::aligned::CTRL_ESTIMATE;
+use dcr_sim::engine::{Action, JobCtx, Protocol};
+use dcr_sim::job::JobId;
+use dcr_sim::message::{ControlMsg, Payload};
+use dcr_sim::slot::Feedback;
+use rand::{Rng, RngCore};
+
+/// What an aligned job wants to do with the current virtual slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignedAction {
+    /// Listen (someone else's slot, or chose not to transmit).
+    Idle,
+    /// Transmit an estimation ping.
+    Control,
+    /// Transmit the data message.
+    Data,
+}
+
+/// The ALIGNED state machine for one job, in virtual time.
+#[derive(Debug, Clone)]
+pub struct AlignedJob {
+    params: AlignedParams,
+    id: JobId,
+    class: u32,
+    window_start: u64,
+    tracker: Tracker,
+    /// Subphase bookkeeping: the broadcast subphase (identified by its
+    /// global start step) we last drew a slot for, and the drawn offset.
+    drawn_subphase: Option<u64>,
+    drawn_offset: u64,
+    succeeded: bool,
+    gave_up: bool,
+    /// Probability with which the job intended to transmit this slot
+    /// (diagnostic, feeds the engine's contention trace).
+    last_prob: f64,
+}
+
+impl AlignedJob {
+    /// Create the state machine for a job whose (virtual) window is
+    /// `[window_start, window_start + 2^class)`, aligned.
+    pub fn new(params: AlignedParams, id: JobId, class: u32, window_start: u64) -> Self {
+        assert!(
+            class >= params.min_class,
+            "job class {class} below protocol min_class {}",
+            params.min_class
+        );
+        let tracker = Tracker::new(params, class, window_start);
+        Self {
+            params,
+            id,
+            class,
+            window_start,
+            tracker,
+            drawn_subphase: None,
+            drawn_offset: 0,
+            succeeded: false,
+            gave_up: false,
+            last_prob: 0.0,
+        }
+    }
+
+    /// This job's class `ℓ`.
+    pub fn class(&self) -> u32 {
+        self.class
+    }
+
+    /// The protocol parameters this job runs with.
+    pub fn params(&self) -> &AlignedParams {
+        &self.params
+    }
+
+    /// True once the data message got through.
+    pub fn succeeded(&self) -> bool {
+        self.succeeded
+    }
+
+    /// True if the class's schedule completed (or was cut) without this
+    /// job succeeding — the paper's "give up and yield" outcome.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// True when the job will take no further action.
+    pub fn finished(&self) -> bool {
+        self.succeeded || self.gave_up
+    }
+
+    /// The tracker's public estimate for this job's class, once available.
+    pub fn estimate(&self) -> Option<u64> {
+        self.tracker.estimate_of(self.class)
+    }
+
+    /// Intended transmission probability of the last decided slot.
+    pub fn last_prob(&self) -> f64 {
+        self.last_prob
+    }
+
+    /// Decide the action for virtual slot `vt`. Call exactly once per
+    /// virtual slot, in order, starting at `window_start`; follow with
+    /// [`AlignedJob::observe`] for the same slot.
+    pub fn decide(&mut self, vt: u64, rng: &mut dyn RngCore) -> AlignedAction {
+        self.last_prob = 0.0;
+        if vt >= self.window_start + (1u64 << self.class) {
+            // Window over: truncated.
+            if !self.succeeded {
+                self.gave_up = true;
+            }
+            return AlignedAction::Idle;
+        }
+        let step = self.tracker.begin_slot(vt);
+        let Some(ActiveStep {
+            class,
+            window_start,
+            kind,
+        }) = step
+        else {
+            return AlignedAction::Idle;
+        };
+        // Only my own class's steps, within my own window, concern me.
+        if class != self.class || window_start != self.window_start || self.finished() {
+            return AlignedAction::Idle;
+        }
+        match kind {
+            StepKind::Estimation { phase, .. } => {
+                let p = Estimation::tx_probability(phase);
+                self.last_prob = p;
+                if rng.gen_bool(p) {
+                    AlignedAction::Control
+                } else {
+                    AlignedAction::Idle
+                }
+            }
+            StepKind::Broadcast(pos) => {
+                // New subphase? Draw this job's slot for it.
+                let subphase_start_step = self.tracker.steps_of(self.class) - pos.offset;
+                if self.drawn_subphase != Some(subphase_start_step) {
+                    self.drawn_subphase = Some(subphase_start_step);
+                    self.drawn_offset = rng.gen_range(0..pos.len);
+                }
+                self.last_prob = 1.0 / pos.len as f64;
+                if pos.offset == self.drawn_offset {
+                    AlignedAction::Data
+                } else {
+                    AlignedAction::Idle
+                }
+            }
+        }
+    }
+
+    /// Feed back the channel observation for virtual slot `vt`.
+    pub fn observe(&mut self, vt: u64, fb: &Feedback) {
+        self.tracker.end_slot(vt, fb);
+        if let Feedback::Success { src, payload } = fb {
+            if *src == self.id && payload.is_data() {
+                self.succeeded = true;
+            }
+        }
+        // If my class's algorithm is finished and my message never got
+        // through (estimation concluded "empty class", or the schedule ran
+        // out), I give up — control returns to larger classes.
+        if !self.succeeded && self.tracker.is_complete(self.class) {
+            self.gave_up = true;
+        }
+    }
+
+    /// The control ping transmitted during estimation steps.
+    pub fn control_payload(&self) -> Payload {
+        Payload::Control(ControlMsg {
+            kind: CTRL_ESTIMATE,
+            a: u64::from(self.class),
+            b: 0,
+            c: 0,
+        })
+    }
+
+    /// The data payload.
+    pub fn data_payload(&self) -> Payload {
+        Payload::Data(self.id)
+    }
+}
+
+/// [`dcr_sim::engine::Protocol`] adapter for the pure aligned setting
+/// (Section 3): virtual time is the engine's aligned clock.
+#[derive(Debug)]
+pub struct AlignedProtocol {
+    params: AlignedParams,
+    job: Option<AlignedJob>,
+}
+
+impl AlignedProtocol {
+    /// Build the protocol; the job state is created at activation, when the
+    /// window (which must be power-of-2-aligned) becomes known.
+    pub fn new(params: AlignedParams) -> Self {
+        Self { params, job: None }
+    }
+
+    /// Factory closure for [`dcr_sim::engine::Engine::add_jobs`].
+    pub fn factory(
+        params: AlignedParams,
+    ) -> impl FnMut(&dcr_sim::job::JobSpec) -> Box<dyn Protocol> {
+        move |_spec| Box::new(AlignedProtocol::new(params))
+    }
+
+    /// Access the inner state machine (for tests/diagnostics).
+    pub fn job(&self) -> Option<&AlignedJob> {
+        self.job.as_ref()
+    }
+}
+
+impl Protocol for AlignedProtocol {
+    fn on_activate(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) {
+        let now = ctx.aligned_now();
+        assert!(
+            ctx.window.is_power_of_two() && now.is_multiple_of(ctx.window),
+            "AlignedProtocol requires power-of-2-aligned windows"
+        );
+        let class = ctx.window.trailing_zeros();
+        self.job = Some(AlignedJob::new(self.params, ctx.id, class, now));
+    }
+
+    fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+        let job = self.job.as_mut().expect("activated");
+        match job.decide(ctx.aligned_now(), rng) {
+            AlignedAction::Idle => Action::Listen,
+            AlignedAction::Control => Action::Transmit(job.control_payload()),
+            AlignedAction::Data => Action::Transmit(job.data_payload()),
+        }
+    }
+
+    fn on_feedback(&mut self, ctx: &JobCtx, fb: &Feedback, _rng: &mut dyn RngCore) {
+        let job = self.job.as_mut().expect("activated");
+        job.observe(ctx.aligned_now(), fb);
+    }
+
+    fn is_done(&self) -> bool {
+        self.job.as_ref().is_some_and(|j| j.finished())
+    }
+
+    fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
+        self.job.as_ref().map(|j| j.last_prob())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcr_sim::engine::{Engine, EngineConfig};
+    use dcr_sim::job::JobSpec;
+    use dcr_sim::runner::count_trials;
+
+    /// Single-class parameters: `min_class == class`, so no slots are spent
+    /// estimating empty smaller classes. (Multi-class configurations need
+    /// `λ·Σ_{ℓ≥min} ℓ²/2^ℓ < 1` — see `AlignedParams::overhead_fraction`.)
+    fn batch_params(class: u32) -> AlignedParams {
+        AlignedParams::new(1, 2, class)
+    }
+
+    fn run_batch(n: u32, class: u32, seed: u64) -> dcr_sim::metrics::SimReport {
+        let w = 1u64 << class;
+        let mut e = Engine::new(EngineConfig::aligned(), seed);
+        for i in 0..n {
+            e.add_job(
+                JobSpec::new(i, 0, w),
+                Box::new(AlignedProtocol::new(batch_params(class))),
+            );
+        }
+        e.run()
+    }
+
+    #[test]
+    fn single_job_succeeds() {
+        // One job, window 2^7 = 128. Estimation costs λℓ² = 49 steps, the
+        // broadcast ~55 more: the job must deliver in essentially every run.
+        let (hits, total) = count_trials(50, 1234, |_, seed| {
+            run_batch(1, 7, seed).outcome(0).is_success()
+        });
+        assert!(hits >= total - 1, "{hits}/{total}");
+    }
+
+    #[test]
+    fn small_batch_all_succeed() {
+        // 4 jobs in a window of 2^9: plenty of slack.
+        let (hits, total) = count_trials(30, 99, |_, seed| {
+            let r = run_batch(4, 9, seed);
+            r.successes() == 4
+        });
+        assert!(hits >= total - 1, "{hits}/{total}");
+    }
+
+    #[test]
+    fn overloaded_window_gives_up_cleanly() {
+        // 64 jobs in a window of 64 slots: impossible (estimation alone
+        // eats most of the window). Jobs must give up without panicking,
+        // and the engine must terminate at the horizon.
+        let r = run_batch(64, 6, 5);
+        assert!(r.successes() < 64);
+        assert_eq!(r.slots_run, 64);
+    }
+
+    #[test]
+    fn two_classes_pecking_order() {
+        // One job in each class-8 window of [0, 1024), plus one job owning
+        // the whole [0, 4096) window. min_class = 8 keeps the deterministic
+        // estimation overhead (Σ_{ℓ≥8} ℓ²/2^ℓ ≈ 0.64) inside the budget, so
+        // everyone should usually finish.
+        let p = AlignedParams::new(1, 2, 8);
+        let (hits, total) = count_trials(20, 777, |_, seed| {
+            let mut e = Engine::new(EngineConfig::aligned(), seed);
+            for i in 0..4u32 {
+                e.add_job(
+                    JobSpec::new(i, u64::from(i) * 256, u64::from(i + 1) * 256),
+                    Box::new(AlignedProtocol::new(p)),
+                );
+            }
+            e.add_job(
+                JobSpec::new(4, 0, 1 << 12),
+                Box::new(AlignedProtocol::new(p)),
+            );
+            let r = e.run();
+            r.successes() == 5
+        });
+        assert!(hits as f64 / total as f64 > 0.8, "{hits}/{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_window_rejected() {
+        let mut e = Engine::new(EngineConfig::aligned(), 1);
+        e.add_job(
+            JobSpec::new(0, 4, 12),
+            Box::new(AlignedProtocol::new(batch_params(2))),
+        );
+        let _ = e.run();
+    }
+
+    #[test]
+    fn estimate_visible_after_estimation() {
+        // Drive the state machine directly: 3 jobs of class 4 at vt 0,
+        // min_class = 4 so every slot belongs to the jobs' own class.
+        let p = AlignedParams::new(1, 2, 4);
+        let mut jobs: Vec<AlignedJob> =
+            (0..3).map(|i| AlignedJob::new(p, i, 4, 0)).collect();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0x9e3779b97f4a7c15);
+        for vt in 0..p.est_len(4) {
+            let acts: Vec<AlignedAction> =
+                jobs.iter_mut().map(|j| j.decide(vt, &mut rng)).collect();
+            let tx: Vec<usize> = acts
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a != AlignedAction::Idle)
+                .map(|(i, _)| i)
+                .collect();
+            let fb = match tx.len() {
+                0 => Feedback::Silent,
+                1 => Feedback::Success {
+                    src: tx[0] as u32,
+                    payload: jobs[tx[0]].control_payload(),
+                },
+                _ => Feedback::Noise,
+            };
+            for j in jobs.iter_mut() {
+                j.observe(vt, &fb);
+            }
+        }
+        let est = jobs[0].estimate().unwrap();
+        for j in &jobs {
+            assert_eq!(j.estimate(), Some(est), "all jobs share the estimate");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dcr-core — the SPAA 2020 deadline contention-resolution protocols
+//!
+//! This crate implements the algorithmic contribution of *Contention
+//! Resolution with Message Deadlines* (Agrawal, Bender, Fineman, Gilbert,
+//! Young — SPAA '20) on top of the [`dcr_sim`] channel substrate:
+//!
+//! * [`contention`] — the contention/success-probability calculus of
+//!   Section 2.1 (Lemmas 1–2, Corollary 3);
+//! * [`uniform`] — the natural-but-unfair **UNIFORM** algorithm of
+//!   Section 2.2 (broadcast in Θ(1) random slots of the window);
+//! * [`aligned`] — **ALIGNED** for power-of-2-aligned windows (Section 3):
+//!   per-class size estimation, the decreasing-phase "backon" broadcast,
+//!   and distributed pecking-order scheduling via a replicated deterministic
+//!   tracker (Lemma 7);
+//! * [`clocked`] — the with-global-clock shortcut for general windows that
+//!   Section 4 mentions and PUNCTUAL replaces (used to measure the price
+//!   of clocklessness);
+//! * [`punctual`] — **PUNCTUAL** for general windows with no global clock
+//!   (Section 4, Figure 2): round synchronization, the SLINGSHOT leader
+//!   election, FOLLOW-THE-LEADER window trimming into an embedded ALIGNED,
+//!   BECOME-LEADER timekeeping, and the anarchist fallback.
+//!
+//! All protocol constants (λ, τ, the polylog exponents, round geometry) are
+//! run-time parameters with presets: `paper()` — the constants exactly as
+//! stated in the paper, which need astronomically large windows to pay
+//! off — and `PunctualParams::laptop()` / small `AlignedParams` values that
+//! preserve every structural property at simulable scales and are what the
+//! experiment harness runs. See `EXPERIMENTS.md` at the workspace root.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aligned;
+pub mod clocked;
+pub mod contention;
+pub mod punctual;
+pub mod uniform;
+
+pub use aligned::params::AlignedParams;
+pub use aligned::protocol::AlignedProtocol;
+pub use clocked::{ClockedParams, ClockedProtocol};
+pub use punctual::params::PunctualParams;
+pub use punctual::protocol::PunctualProtocol;
+pub use uniform::Uniform;

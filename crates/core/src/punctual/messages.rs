@@ -1,0 +1,115 @@
+//! Typed PUNCTUAL control messages and their wire encoding.
+//!
+//! PUNCTUAL exchanges four control message types over the channel's
+//! fixed-size [`ControlMsg`] frames: start markers, leader beacons,
+//! election claims, and abdication notices. Deadlines are never shipped as
+//! absolute times — there is no global clock — but as *remaining rounds*,
+//! which every listener can interpret relative to the shared round train.
+
+use dcr_sim::message::{ControlMsg, Payload};
+
+/// `ControlMsg::kind` for start (synch) markers.
+pub const KIND_START: u16 = 20;
+/// `ControlMsg::kind` for leader timekeeper beacons.
+pub const KIND_BEACON: u16 = 21;
+/// `ControlMsg::kind` for SLINGSHOT election claims.
+pub const KIND_CLAIM: u16 = 22;
+
+/// A decoded PUNCTUAL control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PunctualMsg {
+    /// "A round is starting": transmitted by every synchronized job in the
+    /// two start slots. Content-free (these slots usually collide anyway;
+    /// only their busyness matters).
+    Start,
+    /// The leader's timekeeper beacon.
+    Beacon {
+        /// Identifier of the leadership epoch (alignment domain).
+        epoch: u64,
+        /// The leader's round counter — the shared virtual clock.
+        rho: u64,
+        /// Rounds remaining until the leader's own deadline.
+        leader_remaining: u64,
+    },
+    /// "I am the leader with deadline …" — a SLINGSHOT claim.
+    Claim {
+        /// Rounds remaining until the claimer's deadline.
+        remaining: u64,
+    },
+}
+
+impl PunctualMsg {
+    /// Encode to the wire frame.
+    pub fn encode(&self) -> Payload {
+        let msg = match *self {
+            PunctualMsg::Start => ControlMsg::of_kind(KIND_START),
+            PunctualMsg::Beacon {
+                epoch,
+                rho,
+                leader_remaining,
+            } => ControlMsg {
+                kind: KIND_BEACON,
+                a: epoch,
+                b: rho,
+                c: leader_remaining,
+            },
+            PunctualMsg::Claim { remaining } => ControlMsg {
+                kind: KIND_CLAIM,
+                a: remaining,
+                b: 0,
+                c: 0,
+            },
+        };
+        Payload::Control(msg)
+    }
+
+    /// Decode from a received frame; `None` for data payloads or foreign
+    /// control kinds.
+    pub fn decode(payload: &Payload) -> Option<PunctualMsg> {
+        let Payload::Control(msg) = payload else {
+            return None;
+        };
+        match msg.kind {
+            KIND_START => Some(PunctualMsg::Start),
+            KIND_BEACON => Some(PunctualMsg::Beacon {
+                epoch: msg.a,
+                rho: msg.b,
+                leader_remaining: msg.c,
+            }),
+            KIND_CLAIM => Some(PunctualMsg::Claim { remaining: msg.a }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = [
+            PunctualMsg::Start,
+            PunctualMsg::Beacon {
+                epoch: 0xdead,
+                rho: 42,
+                leader_remaining: 7,
+            },
+            PunctualMsg::Claim { remaining: 99 },
+        ];
+        for m in msgs {
+            assert_eq!(PunctualMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn data_payload_does_not_decode() {
+        assert_eq!(PunctualMsg::decode(&Payload::Data(3)), None);
+    }
+
+    #[test]
+    fn foreign_control_kind_does_not_decode() {
+        let foreign = Payload::Control(ControlMsg::of_kind(crate::aligned::CTRL_ESTIMATE));
+        assert_eq!(PunctualMsg::decode(&foreign), None);
+    }
+}

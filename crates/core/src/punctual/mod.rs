@@ -1,0 +1,47 @@
+//! **PUNCTUAL** — contention resolution for general windows with no global
+//! clock (Section 4, Figure 2 of the paper).
+//!
+//! Time is grouped into **rounds** of ten slots: two *start* slots (every
+//! synchronized job transmits, making the pair detectably busy), then guard
+//! slots alternating with four payload slots — *timekeeper* (leader
+//! beacons), *aligned* (the embedded ALIGNED batch protocol), *election*
+//! (SLINGSHOT claims), and *anarchy* (fallback data transmissions).
+//!
+//! A job's life (all states live in [`protocol`]): synchronize onto the
+//! round train, listen to the timekeeper; follow a suitable leader (trim
+//! the window against the leader's clock per [`trim`], run ALIGNED in the
+//! aligned slots), or run SLINGSHOT — pull back with a tiny claim
+//! probability; on a successful claim, become the leader and serve as
+//! everyone's clock; if no leader emerges, release the slingshot and become
+//! an **anarchist**, transmitting the data message at `λ·log w / w` in
+//! anarchy slots.
+//!
+//! ## Engineering resolutions (where the paper under-specifies)
+//!
+//! The paper's prose leaves several distributed corner cases open; our
+//! choices (documented in DESIGN.md §2 and exercised by tests):
+//!
+//! 1. **Sync races.** New arrivals listen `2×ROUND_LEN` slots (not 10) for
+//!    a start pair before initiating their own round train, which removes
+//!    the near-simultaneous-arrival divergence.
+//! 2. **Epochs.** A leader that never heard a predecessor's beacon starts a
+//!    fresh random *epoch id*; followers abandon their embedded ALIGNED run
+//!    and re-decide when the epoch changes, so at most one virtual
+//!    time-alignment is live at a time.
+//! 3. **Leaderless continuation.** Followers keep advancing the round
+//!    counter locally when beacons stop; consistency within an epoch is
+//!    preserved because every follower does the same.
+//! 4. **Failed handoff.** A deposed or abdicating leader gets exactly one
+//!    timekeeper slot for its data message (as in Figure 2); if that slot
+//!    is jammed the ex-leader falls back to following/anarchy rather than
+//!    silently dying.
+//! 5. **Truncated followers.** A follower whose embedded ALIGNED run gives
+//!    up (truncation, Lemma 12's bad event) falls back to anarchy instead
+//!    of going silent.
+
+pub mod messages;
+pub mod params;
+pub mod protocol;
+pub mod trim;
+
+pub use params::{PunctualParams, SlotRole, ROUND_LEN};

@@ -1,0 +1,244 @@
+//! PUNCTUAL parameters and round geometry.
+
+use crate::aligned::params::AlignedParams;
+use serde::{Deserialize, Serialize};
+
+/// Number of slots in one PUNCTUAL round: two synch (start) slots, then
+/// guard slots alternating with the four payload slots.
+pub const ROUND_LEN: u64 = 10;
+
+/// The role of each slot within a round (Section 4, "Rounds and slots").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotRole {
+    /// Slots 0–1: every synchronized job broadcasts a start message, so the
+    /// pair is always busy — the only two consecutive busy slots in a
+    /// round, which is what new arrivals lock onto.
+    Start,
+    /// Empty separator slots (2, 4, 6, 8).
+    Guard,
+    /// Slot 3: the leader broadcasts its timekeeper beacon.
+    Timekeeper,
+    /// Slot 5: the embedded ALIGNED batch protocol runs here.
+    Aligned,
+    /// Slot 7: leaderless jobs transmit election claims here.
+    Election,
+    /// Slot 9: jobs that gave up on finding a leader transmit data here.
+    Anarchy,
+}
+
+/// Map a position `0..ROUND_LEN` within a round to its role.
+pub fn slot_role(pos: u64) -> SlotRole {
+    match pos {
+        0 | 1 => SlotRole::Start,
+        3 => SlotRole::Timekeeper,
+        5 => SlotRole::Aligned,
+        7 => SlotRole::Election,
+        9 => SlotRole::Anarchy,
+        2 | 4 | 6 | 8 => SlotRole::Guard,
+        _ => panic!("slot position {pos} out of round"),
+    }
+}
+
+/// Tunable constants of PUNCTUAL.
+///
+/// The paper's SLINGSHOT uses transmission probability `1/(w·log³w)` for
+/// `λ·log⁷w` slots and an anarchist probability of `λ·log(w)/w`. The polylog
+/// *exponents* are parameters here (`pullback_prob_logexp = 3`,
+/// `pullback_len_logexp = 7` in the paper): at laptop-scale window sizes
+/// `log⁷w` exceeds any simulable window, so the default preset uses smaller
+/// exponents that preserve the structural relationships — expected claims
+/// per dense class ≫ 1, per-slot election contention ≪ 1 — at observable
+/// scales. All probabilities are computed against the window measured in
+/// *rounds* (`w_r = w/10`), since that is how many slots of each role the
+/// window actually contains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PunctualParams {
+    /// Parameters of the embedded ALIGNED protocol (virtual time: one
+    /// aligned slot per round).
+    pub aligned: AlignedParams,
+    /// The λ multiplier for pullback length and anarchist probability.
+    pub lambda: u64,
+    /// `a` in the claim probability `1/(w_r·log2(w_r)^a)` (paper: 3).
+    pub pullback_prob_logexp: u32,
+    /// `b` in the pullback duration `λ·log2(w_r)^b` election slots
+    /// (paper: 7).
+    pub pullback_len_logexp: u32,
+    /// How many slots a new arrival listens for a start-pair before
+    /// initiating its own round train (paper: 10; default 20 — removes the
+    /// near-simultaneous-arrival race, see the module docs).
+    pub sync_listen_slots: u64,
+    /// Consecutive silent timekeeper slots before a follower considers the
+    /// leadership lost (engineering addition).
+    pub beacon_loss_tolerance: u32,
+}
+
+impl PunctualParams {
+    /// Laptop-scale defaults on top of the given ALIGNED parameters.
+    pub fn new(aligned: AlignedParams) -> Self {
+        Self {
+            aligned,
+            lambda: 2,
+            pullback_prob_logexp: 1,
+            pullback_len_logexp: 2,
+            sync_listen_slots: 2 * ROUND_LEN,
+            beacon_loss_tolerance: 3,
+        }
+    }
+
+    /// The preset the experiment suite runs with: virtual-ALIGNED floor at
+    /// class 8 (the smallest `min_class` whose deterministic estimation
+    /// overhead `λΣℓ²/2^ℓ ≈ 0.64` leaves room — see
+    /// `AlignedParams::overhead_fraction`), and a pullback long enough
+    /// (`λ·log³`) that a dense class elects a leader w.h.p. at windows of
+    /// `2^13`–`2^17` slots.
+    pub fn laptop() -> Self {
+        Self {
+            aligned: crate::aligned::params::AlignedParams::new(1, 2, 8),
+            lambda: 4,
+            pullback_prob_logexp: 1,
+            pullback_len_logexp: 3,
+            sync_listen_slots: 2 * ROUND_LEN,
+            beacon_loss_tolerance: 3,
+        }
+    }
+
+    /// The paper's constants (needs astronomically large windows to show
+    /// its guarantees; provided for fidelity and ablations).
+    pub fn paper() -> Self {
+        Self {
+            aligned: AlignedParams::paper(),
+            lambda: 4,
+            pullback_prob_logexp: 3,
+            pullback_len_logexp: 7,
+            sync_listen_slots: ROUND_LEN,
+            beacon_loss_tolerance: 3,
+        }
+    }
+
+    /// Window size measured in rounds (how many slots of each role fit).
+    pub fn window_rounds(&self, w: u64) -> u64 {
+        (w / ROUND_LEN).max(1)
+    }
+
+    /// SLINGSHOT pullback claim probability for a job with window `w`
+    /// slots: `1/(w_r · log2(w_r)^a)`, clamped to `(0, 1/2]`.
+    pub fn claim_probability(&self, w: u64) -> f64 {
+        let wr = self.window_rounds(w).max(2) as f64;
+        let lg = wr.log2().max(1.0);
+        (1.0 / (wr * lg.powi(self.pullback_prob_logexp as i32))).min(0.5)
+    }
+
+    /// Number of election slots the pullback stage lasts:
+    /// `max(1, ⌈λ·log2(w_r)^b⌉)`, capped at `w_r/4`.
+    ///
+    /// The cap is a scale correction: the paper's `λ·log⁷w` is
+    /// asymptotically `o(w)` but exceeds any simulable window, and a
+    /// pullback longer than the window means the slingshot never releases.
+    /// A quarter of the window preserves the paper's structure (pullback
+    /// ≪ window, with time left for the anarchy fallback).
+    pub fn pullback_election_slots(&self, w: u64) -> u64 {
+        let wr = self.window_rounds(w).max(2) as f64;
+        let lg = wr.log2().max(1.0);
+        let uncapped =
+            (((self.lambda as f64) * lg.powi(self.pullback_len_logexp as i32)).ceil() as u64)
+                .max(1);
+        uncapped.min((self.window_rounds(w) / 4).max(1))
+    }
+
+    /// Anarchist per-anarchy-slot transmission probability:
+    /// `min(1/2, λ·log2(w_r)/w_r)`, so the expected number of anarchy
+    /// attempts over the window is `λ·log2(w_r)` as in the paper.
+    pub fn anarchy_probability(&self, w: u64) -> f64 {
+        let wr = self.window_rounds(w).max(2) as f64;
+        ((self.lambda as f64) * wr.log2() / wr).min(0.5)
+    }
+}
+
+impl Default for PunctualParams {
+    fn default() -> Self {
+        Self::new(AlignedParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_tile_the_round() {
+        let roles: Vec<SlotRole> = (0..ROUND_LEN).map(slot_role).collect();
+        assert_eq!(roles[0], SlotRole::Start);
+        assert_eq!(roles[1], SlotRole::Start);
+        assert_eq!(roles[3], SlotRole::Timekeeper);
+        assert_eq!(roles[5], SlotRole::Aligned);
+        assert_eq!(roles[7], SlotRole::Election);
+        assert_eq!(roles[9], SlotRole::Anarchy);
+        assert_eq!(roles.iter().filter(|r| **r == SlotRole::Guard).count(), 4);
+    }
+
+    #[test]
+    fn no_two_consecutive_payload_slots() {
+        // The synchronization scheme relies on start slots being the only
+        // consecutive busy pair; every payload slot must be fenced by
+        // guards.
+        for pos in 2..ROUND_LEN - 1 {
+            let here = slot_role(pos) != SlotRole::Guard;
+            let next = slot_role(pos + 1) != SlotRole::Guard;
+            assert!(!(here && next), "payload slots {pos},{} adjacent", pos + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of round")]
+    fn position_past_round_panics() {
+        let _ = slot_role(ROUND_LEN);
+    }
+
+    #[test]
+    fn claim_probability_shrinks_with_window() {
+        let p = PunctualParams::default();
+        let small = p.claim_probability(1 << 8);
+        let large = p.claim_probability(1 << 16);
+        assert!(large < small);
+        assert!(small <= 0.5);
+        assert!(large > 0.0);
+    }
+
+    #[test]
+    fn pullback_grows_polylog() {
+        let p = PunctualParams::default();
+        assert!(p.pullback_election_slots(1 << 16) > p.pullback_election_slots(1 << 8));
+        assert!(p.pullback_election_slots(40) >= 1);
+    }
+
+    #[test]
+    fn anarchy_probability_expected_attempts() {
+        let p = PunctualParams::default();
+        let w = 1u64 << 14;
+        let wr = p.window_rounds(w) as f64;
+        let expected_attempts = p.anarchy_probability(w) * wr;
+        let target = p.lambda as f64 * wr.log2();
+        assert!((expected_attempts - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_preset_exponents() {
+        let p = PunctualParams::paper();
+        assert_eq!(p.pullback_prob_logexp, 3);
+        assert_eq!(p.pullback_len_logexp, 7);
+        assert_eq!(p.aligned.tau, 64);
+    }
+
+    #[test]
+    fn dense_class_elects_whp_in_expectation_arithmetic() {
+        // Lemma 17's precondition in our parameterization: a class with
+        // |S| ≥ w_r/log(w_r) jobs makes Σ (claims over pullback) ≫ 1.
+        let p = PunctualParams::default();
+        let w = 1u64 << 12;
+        let wr = p.window_rounds(w) as f64;
+        let s = wr / wr.log2();
+        let expected_claims =
+            s * p.claim_probability(w) * p.pullback_election_slots(w) as f64;
+        assert!(expected_claims > 1.0, "expected_claims={expected_claims}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Window trimming in leader (virtual round) time.
+//!
+//! Once a follower shares the leader's round counter `ρ`, its remaining
+//! real window corresponds to a virtual interval `[ρ_now, ρ_now + rem)`
+//! measured in rounds. FOLLOW-THE-LEADER trims this to the largest
+//! power-of-2-*aligned* virtual window inside it (the paper's `trimmed(W)`;
+//! `|trimmed(W)| ≥ |W|/4`), and runs ALIGNED there.
+//!
+//! The arithmetic is the same as `dcr_workloads::transforms::trimmed_window`
+//! but is deliberately re-implemented here: `dcr-core` is the substrate the
+//! workloads crate builds *experiments* on, and an inverted dependency for
+//! a ten-line function would cycle the graph. Cross-validation lives in the
+//! workspace integration tests.
+
+/// The largest aligned power-of-2 window contained in `[start, end)`
+/// virtual time, or `None` if the interval is empty.
+pub fn trim_virtual(start: u64, end: u64) -> Option<(u64, u64)> {
+    if end <= start {
+        return None;
+    }
+    let w = end - start;
+    let mut k = 63 - w.leading_zeros();
+    loop {
+        let size = 1u64 << k;
+        let aligned_start = start.div_ceil(size) * size;
+        if aligned_start + size <= end {
+            return Some((aligned_start, aligned_start + size));
+        }
+        if k == 0 {
+            // A size-1 window always fits (every slot is 1-aligned), so
+            // this point is unreachable for non-empty intervals.
+            unreachable!("size-1 window always fits in a non-empty interval");
+        }
+        k -= 1;
+    }
+}
+
+/// The class (log2 size) of the trimmed window for `[start, end)`, with
+/// its start, if the interval is non-empty.
+pub fn trim_class(start: u64, end: u64) -> Option<(u64, u32)> {
+    trim_virtual(start, end).map(|(s, e)| (s, (e - s).trailing_zeros()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_are_aligned_and_at_least_quarter() {
+        for (s, e) in [(0u64, 5u64), (3, 17), (9, 10), (100, 1000), (1, 2048)] {
+            let (ts, te) = trim_virtual(s, e).unwrap();
+            let tw = te - ts;
+            assert!(ts >= s && te <= e);
+            assert!(tw.is_power_of_two());
+            assert_eq!(ts % tw, 0);
+            assert!(4 * tw >= e - s, "({s},{e}) -> ({ts},{te})");
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_none() {
+        assert_eq!(trim_virtual(5, 5), None);
+        assert_eq!(trim_virtual(7, 3), None);
+    }
+
+    #[test]
+    fn aligned_interval_is_identity() {
+        assert_eq!(trim_virtual(8, 16), Some((8, 16)));
+    }
+
+    #[test]
+    fn class_extraction() {
+        let (s, c) = trim_class(3, 20).unwrap();
+        assert_eq!(s % (1 << c), 0);
+        assert!((1u64 << c) * 4 >= 17);
+    }
+}

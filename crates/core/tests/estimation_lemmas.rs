@@ -1,0 +1,126 @@
+//! Direct statistical tests of the size-estimation lemmas (Lemmas 9–10):
+//! drive the estimation *phases* exactly as specified — `n̂` jobs each
+//! transmitting with probability `1/2^i` in phase `i` — and check the
+//! success-count separations the argmax rule relies on.
+
+use dcr_core::aligned::estimator::Estimation;
+use dcr_sim::rng::{SeedSeq, StreamLabel};
+use rand::Rng;
+
+/// Simulate one estimation phase: `n_hat` jobs, transmit probability
+/// `1/2^phase`, `steps` slots, optional all-successes jamming at `p_jam`.
+/// Returns the number of successful (singleton, unjammed) slots.
+fn run_phase(n_hat: usize, phase: u32, steps: u64, p_jam: f64, seed: u64) -> u64 {
+    let seeds = SeedSeq::new(seed);
+    let mut rngs: Vec<_> = (0..n_hat)
+        .map(|i| seeds.rng(StreamLabel::Job, i as u64))
+        .collect();
+    let mut jam = seeds.rng(StreamLabel::Jammer, 0);
+    let p = Estimation::tx_probability(phase);
+    let mut successes = 0;
+    for _ in 0..steps {
+        let tx = rngs.iter_mut().map(|r| u32::from(r.gen_bool(p))).sum::<u32>();
+        if tx == 1 && !(p_jam > 0.0 && jam.gen_bool(p_jam)) {
+            successes += 1;
+        }
+    }
+    successes
+}
+
+/// Lemma 9: in the matched phase (`2^{i-1} ≤ n̂ ≤ 2^i`) the per-slot
+/// success probability is at least `1/(2e)` (halved under jamming), so a
+/// `λℓ`-slot phase accumulates at least `λℓ/16` successes w.h.p.
+#[test]
+fn lemma9_matched_phase_produces_many_successes() {
+    let ell = 12u32;
+    let lambda = 4u64;
+    let steps = lambda * u64::from(ell); // λℓ slots
+    let threshold = (lambda * u64::from(ell)) / 16;
+    for (n_hat, phase) in [(2usize, 1u32), (4, 2), (16, 4), (128, 7), (1024, 10)] {
+        let mut below = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            if run_phase(n_hat, phase, steps, 0.0, seed) < threshold {
+                below += 1;
+            }
+        }
+        assert!(
+            below <= 2,
+            "n̂={n_hat} phase={phase}: {below}/{trials} trials below λℓ/16"
+        );
+    }
+}
+
+#[test]
+fn lemma9_survives_half_jamming() {
+    let ell = 12u32;
+    let lambda = 4u64;
+    let steps = lambda * u64::from(ell);
+    let threshold = (lambda * u64::from(ell)) / 16;
+    let mut below = 0;
+    let trials = 200;
+    for seed in 0..trials {
+        if run_phase(16, 4, steps, 0.5, seed) < threshold {
+            below += 1;
+        }
+    }
+    assert!(below <= 6, "{below}/{trials} trials below threshold at p_jam=0.5");
+}
+
+/// Lemma 10: a phase whose probability is far too high (`n̂ ≥ 2^{i+5}`,
+/// saturated collisions) or far too low (`n̂ ≤ 2^{i-5}`, mostly silence)
+/// collects strictly fewer than `λℓ/16` successes w.h.p.
+#[test]
+fn lemma10_mismatched_phases_produce_few_successes() {
+    let ell = 12u32;
+    let lambda = 4u64;
+    let steps = lambda * u64::from(ell);
+    let threshold = (lambda * u64::from(ell)) / 16;
+    // Too-low probability: n̂ = 2, phase 8 (p = 1/256).
+    // Too-high probability: n̂ = 1024, phase 3 (p = 1/8 → E[tx] = 128).
+    for (n_hat, phase) in [(2usize, 8u32), (1024, 3)] {
+        let mut above = 0;
+        let trials = 200;
+        for seed in 0..trials {
+            if run_phase(n_hat, phase, steps, 0.0, seed) >= threshold {
+                above += 1;
+            }
+        }
+        // The low-probability case has E[successes] ≈ 0.37 per phase and
+        // P[≥ λℓ/16] ≈ 0.6% — a handful of exceedances in 200 trials is
+        // the expected binomial tail, not a violation.
+        assert!(
+            above <= 6,
+            "n̂={n_hat} phase={phase}: {above}/{trials} trials at/above λℓ/16"
+        );
+    }
+}
+
+/// Lemma 8 end-to-end at the estimator: feeding the per-phase success
+/// counts from simulated phases into the argmax rule lands the estimate in
+/// `[2n̂, τ²n̂]` for τ = 64 in essentially every trial.
+#[test]
+fn lemma8_argmax_estimate_in_band() {
+    let ell = 12u32;
+    let lambda = 2u64;
+    let steps = lambda * u64::from(ell);
+    let tau = 64u64;
+    for n_hat in [1usize, 3, 10, 50, 300] {
+        let mut out_of_band = 0;
+        let trials = 100;
+        for seed in 0..trials {
+            let mut est = Estimation::new(ell);
+            for phase in 1..=ell {
+                let succ = run_phase(n_hat, phase, steps, 0.0, seed * 1000 + u64::from(phase));
+                for _ in 0..succ {
+                    est.record(phase, true);
+                }
+            }
+            let e = est.estimate(tau);
+            if e < 2 * n_hat as u64 || e > tau * tau * n_hat as u64 {
+                out_of_band += 1;
+            }
+        }
+        assert!(out_of_band <= 2, "n̂={n_hat}: {out_of_band}/{trials} out of band");
+    }
+}

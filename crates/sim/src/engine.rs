@@ -1,0 +1,639 @@
+//! The slot-synchronized simulation engine.
+//!
+//! The engine owns a set of jobs, each driven by a [`Protocol`]
+//! implementation, and advances the channel slot by slot:
+//!
+//! 1. jobs whose release slot arrived are **activated**;
+//! 2. every live job chooses an [`Action`] (transmit / listen / sleep) —
+//!    seeing only its *local* context, per the paper's model;
+//! 3. the channel resolves the slot (silence / success / noise), the
+//!    [`crate::jamming::Jammer`] gets a chance to create noise;
+//! 4. listeners receive the slot's [`Feedback`];
+//! 5. jobs whose data message was delivered, whose protocol reports done, or
+//!    whose window closed are retired.
+//!
+//! The engine is the *only* component with a global view; protocols are
+//! handed a [`JobCtx`] that deliberately omits the global slot index unless
+//! [`EngineConfig::expose_aligned_clock`] is set (valid only for the
+//! power-of-2-aligned special case of Section 3, where window alignment
+//! makes a shared clock implicitly available).
+
+use crate::jamming::{Jammer, SlotView};
+use crate::job::{JobId, JobSpec};
+use crate::message::Payload;
+use crate::metrics::{AccessCounts, JobOutcome, SimReport, SlotCounts};
+use crate::rng::{SeedSeq, StreamLabel};
+use crate::slot::Feedback;
+use crate::trace::{SlotOutcome, SlotRecord};
+use rand::RngCore;
+use rand_chacha::ChaCha8Rng;
+
+/// A job's decision for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Broadcast `Payload` in this slot.
+    Transmit(Payload),
+    /// Stay quiet but observe the slot's feedback.
+    Listen,
+    /// Neither transmit nor observe (no feedback is delivered).
+    Sleep,
+}
+
+/// The local context a protocol sees each slot.
+///
+/// Contains nothing a real station could not know: its own id (used only to
+/// tag its data message), its window size, how many slots have elapsed since
+/// its own activation, and — in the aligned special case only — the shared
+/// clock.
+#[derive(Debug, Clone, Copy)]
+pub struct JobCtx {
+    /// This job's id (for tagging its data payload).
+    pub id: JobId,
+    /// Window size `w` in slots.
+    pub window: u64,
+    /// Slots since activation: `0` in the release slot, `w - 1` in the last
+    /// slot of the window.
+    pub local_time: u64,
+    /// The shared global clock, present only when the engine is configured
+    /// for the power-of-2-aligned special case.
+    pub aligned_time: Option<u64>,
+}
+
+impl JobCtx {
+    /// Slots remaining in the window *including* the current slot.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.window - self.local_time
+    }
+
+    /// The aligned global clock; panics if the engine did not expose one.
+    #[inline]
+    pub fn aligned_now(&self) -> u64 {
+        self.aligned_time
+            .expect("protocol requires EngineConfig::expose_aligned_clock")
+    }
+}
+
+/// A contention-resolution protocol driving a single job.
+///
+/// One value of this trait is instantiated per job; all coordination happens
+/// through the channel.
+pub trait Protocol {
+    /// Called once, in the job's release slot, before the first `act`.
+    fn on_activate(&mut self, _ctx: &JobCtx, _rng: &mut dyn RngCore) {}
+
+    /// Decide this slot's action.
+    fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action;
+
+    /// Observe the feedback for the slot just completed. Not called if the
+    /// job slept or has been retired.
+    fn on_feedback(&mut self, _ctx: &JobCtx, _fb: &Feedback, _rng: &mut dyn RngCore) {}
+
+    /// True once the job will take no further useful action; the engine
+    /// retires it early. (Delivery of the job's data message retires it
+    /// automatically regardless.)
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// The probability with which this protocol intended to transmit in the
+    /// current slot, if it can report one. Used for measuring the paper's
+    /// contention `C(t) = Σ_j p_j(t)`; purely diagnostic.
+    fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
+        None
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct EngineConfig {
+    /// Hard cap on simulated slots (safety net against livelock). When
+    /// `None`, the engine runs until the last deadline.
+    pub max_slots: Option<u64>,
+    /// Record a full [`SlotRecord`] trace (off for large Monte-Carlo runs).
+    pub record_trace: bool,
+    /// Expose the global slot index to protocols via
+    /// [`JobCtx::aligned_time`]. Only legitimate for the aligned special
+    /// case (Section 3); PUNCTUAL must run with this off.
+    pub expose_aligned_clock: bool,
+}
+
+
+impl EngineConfig {
+    /// Config for the aligned special case (shared clock exposed).
+    pub fn aligned() -> Self {
+        Self {
+            expose_aligned_clock: true,
+            ..Self::default()
+        }
+    }
+
+    /// Enable trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+struct JobState {
+    spec: JobSpec,
+    protocol: Box<dyn Protocol>,
+    rng: ChaCha8Rng,
+    outcome: Option<JobOutcome>,
+    accesses: AccessCounts,
+}
+
+/// The simulation engine. See the [module docs](self) for the slot loop.
+pub struct Engine {
+    config: EngineConfig,
+    seeds: SeedSeq,
+    jobs: Vec<JobState>,
+    jammer: Jammer,
+}
+
+/// Scratch buffers reused across slots so the hot loop stays allocation-free.
+#[derive(Default)]
+struct SlotScratch {
+    /// Indices (into `jobs`) of jobs that transmitted, with their payloads.
+    transmitters: Vec<(usize, Payload)>,
+    /// Indices of jobs that listened (receive feedback).
+    listeners: Vec<usize>,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration and master seed.
+    pub fn new(config: EngineConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seeds: SeedSeq::new(seed),
+            jobs: Vec::new(),
+            jammer: Jammer::none(),
+        }
+    }
+
+    /// Install a jamming adversary (default: none).
+    pub fn set_jammer(&mut self, jammer: Jammer) {
+        self.jammer = jammer;
+    }
+
+    /// Add a job. Jobs must be added with ids `0, 1, 2, …` in order; this
+    /// keeps outcome lookup an index and catches instance-construction bugs.
+    pub fn add_job(&mut self, spec: JobSpec, protocol: Box<dyn Protocol>) {
+        assert_eq!(
+            spec.id as usize,
+            self.jobs.len(),
+            "jobs must be added in id order"
+        );
+        let rng = self.seeds.rng(StreamLabel::Job, u64::from(spec.id));
+        self.jobs.push(JobState {
+            spec,
+            protocol,
+            rng,
+            outcome: None,
+            accesses: AccessCounts::default(),
+        });
+    }
+
+    /// Add every job in `specs`, building each protocol with `factory`.
+    pub fn add_jobs<F>(&mut self, specs: &[JobSpec], mut factory: F)
+    where
+        F: FnMut(&JobSpec) -> Box<dyn Protocol>,
+    {
+        for spec in specs {
+            let protocol = factory(spec);
+            self.add_job(*spec, protocol);
+        }
+    }
+
+    /// Number of jobs registered.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Run the simulation to completion and return the report.
+    pub fn run(mut self) -> SimReport {
+        let horizon = self
+            .jobs
+            .iter()
+            .map(|j| j.spec.deadline)
+            .max()
+            .unwrap_or(0);
+        // Running past the last deadline is pointless (all jobs retired), so
+        // the horizon caps the configured limit rather than the reverse.
+        let max_slots = match self.config.max_slots {
+            Some(cap) => cap.min(horizon),
+            None => horizon,
+        };
+
+        // Activation order: job indices sorted by release slot.
+        let mut by_release: Vec<usize> = (0..self.jobs.len()).collect();
+        by_release.sort_by_key(|&i| (self.jobs[i].spec.release, self.jobs[i].spec.id));
+        let mut next_pending = 0usize;
+
+        let mut live: Vec<usize> = Vec::with_capacity(self.jobs.len());
+        let mut scratch = SlotScratch::default();
+        let mut counts = SlotCounts::default();
+        let mut trace = self.config.record_trace.then(Vec::new);
+        let mut jam_rng = self.seeds.rng(StreamLabel::Jammer, 0);
+
+        let mut slot: u64 = 0;
+        while slot < max_slots {
+            // Nothing live and nothing pending: the channel is idle forever.
+            if live.is_empty() && next_pending == by_release.len() {
+                break;
+            }
+            // Fast-forward through idle gaps between arrival bursts. The
+            // skipped slots really are silent, so they stay accounted (and
+            // traced, when tracing): `counts.total()` always equals the
+            // number of slots the run covered.
+            if live.is_empty() {
+                let next_release = self.jobs[by_release[next_pending]].spec.release;
+                if next_release > slot {
+                    let until = next_release.min(max_slots);
+                    counts.silent += until - slot;
+                    if let Some(trace) = trace.as_mut() {
+                        for s in slot..until {
+                            trace.push(SlotRecord {
+                                slot: s,
+                                outcome: SlotOutcome::Silent,
+                                live_jobs: 0,
+                                declared_contention: 0.0,
+                                payload: None,
+                            });
+                        }
+                    }
+                    slot = until;
+                    if slot == max_slots {
+                        break;
+                    }
+                }
+            }
+
+            // 1. Activate arrivals.
+            while next_pending < by_release.len()
+                && self.jobs[by_release[next_pending]].spec.release == slot
+            {
+                let idx = by_release[next_pending];
+                next_pending += 1;
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let job = &mut self.jobs[idx];
+                job.protocol.on_activate(&ctx, &mut job.rng);
+                live.push(idx);
+            }
+
+            // 2. Collect actions.
+            scratch.transmitters.clear();
+            scratch.listeners.clear();
+            let mut declared_contention = 0.0f64;
+            for &idx in &live {
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let job = &mut self.jobs[idx];
+                let action = job.protocol.act(&ctx, &mut job.rng);
+                let declared = job.protocol.tx_probability(&ctx);
+                match action {
+                    Action::Transmit(payload) => {
+                        declared_contention += declared.unwrap_or(1.0);
+                        job.accesses.transmissions += 1;
+                        scratch.transmitters.push((idx, payload));
+                        // Transmitters also observe the slot (they learn
+                        // whether their own broadcast succeeded).
+                        scratch.listeners.push(idx);
+                    }
+                    Action::Listen => {
+                        declared_contention += declared.unwrap_or(0.0);
+                        job.accesses.listens += 1;
+                        scratch.listeners.push(idx);
+                    }
+                    Action::Sleep => {
+                        declared_contention += declared.unwrap_or(0.0);
+                    }
+                }
+            }
+
+            // 3. Resolve the channel and give the adversary its shot.
+            let n_tx = scratch.transmitters.len();
+            let view = match n_tx {
+                0 => SlotView::Silent,
+                1 => {
+                    let (idx, payload) = scratch.transmitters[0];
+                    SlotView::Single {
+                        src: self.jobs[idx].spec.id,
+                        payload,
+                    }
+                }
+                _ => SlotView::Collision { n_tx },
+            };
+            let jammed = self.jammer.jams(view, &mut jam_rng);
+
+            let feedback = if jammed {
+                Feedback::Noise
+            } else {
+                match view {
+                    SlotView::Silent => Feedback::Silent,
+                    SlotView::Single { src, payload } => Feedback::Success { src, payload },
+                    SlotView::Collision { .. } => Feedback::Noise,
+                }
+            };
+
+            // 4. Account the slot.
+            let mut delivered_data: Option<JobId> = None;
+            match (jammed, n_tx) {
+                (true, _) => counts.jammed += 1,
+                (false, 0) => counts.silent += 1,
+                (false, 1) => {
+                    counts.success += 1;
+                    let (_, payload) = scratch.transmitters[0];
+                    if let Some(owner) = payload.data_owner() {
+                        counts.data_success += 1;
+                        delivered_data = Some(owner);
+                    }
+                }
+                (false, _) => counts.collision += 1,
+            }
+
+            if let Some(trace) = trace.as_mut() {
+                let outcome = if jammed {
+                    SlotOutcome::Jammed { n_tx: n_tx as u32 }
+                } else {
+                    match view {
+                        SlotView::Silent => SlotOutcome::Silent,
+                        SlotView::Single { src, payload } => SlotOutcome::Success {
+                            src,
+                            was_data: payload.is_data(),
+                        },
+                        SlotView::Collision { n_tx } => SlotOutcome::Collision {
+                            n_tx: n_tx as u32,
+                        },
+                    }
+                };
+                trace.push(SlotRecord {
+                    slot,
+                    outcome,
+                    live_jobs: live.len() as u32,
+                    declared_contention,
+                    payload: feedback.payload().copied(),
+                });
+            }
+
+            // 5. Deliver feedback to listeners.
+            for &idx in &scratch.listeners {
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let job = &mut self.jobs[idx];
+                job.protocol.on_feedback(&ctx, &feedback, &mut job.rng);
+            }
+
+            // 6. Record delivery and retire finished jobs.
+            if let Some(owner) = delivered_data {
+                let job = &mut self.jobs[owner as usize];
+                // First delivery inside the window wins; protocols built in
+                // this workspace never transmit data outside their window
+                // (the engine retires them at the deadline), so `slot` is
+                // necessarily inside it.
+                if job.outcome.is_none() {
+                    job.outcome = Some(JobOutcome::Success { slot });
+                }
+            }
+            live.retain(|&idx| {
+                let job = &mut self.jobs[idx];
+                let window_over = slot + 1 >= job.spec.deadline;
+                let finished = job.outcome.is_some() || job.protocol.is_done() || window_over;
+                if finished && job.outcome.is_none() {
+                    job.outcome = Some(JobOutcome::Missed);
+                }
+                !finished
+            });
+
+            slot += 1;
+        }
+
+        // Anything still pending or live when the horizon hit missed.
+        for job in &mut self.jobs {
+            job.outcome.get_or_insert(JobOutcome::Missed);
+        }
+
+        let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec).collect();
+        let outcomes: Vec<JobOutcome> = self.jobs.iter().map(|j| j.outcome.unwrap()).collect();
+        let accesses: Vec<AccessCounts> = self.jobs.iter().map(|j| j.accesses).collect();
+        SimReport::new(
+            specs,
+            outcomes,
+            counts,
+            accesses,
+            slot,
+            self.seeds.master(),
+            trace,
+        )
+    }
+
+    #[inline]
+    fn ctx_of(config: &EngineConfig, spec: &JobSpec, slot: u64) -> JobCtx {
+        JobCtx {
+            id: spec.id,
+            window: spec.window(),
+            local_time: slot - spec.release,
+            aligned_time: config.expose_aligned_clock.then_some(slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jamming::JamPolicy;
+
+    /// Transmit the data message in a fixed local slot.
+    struct AtLocal(u64);
+    impl Protocol for AtLocal {
+        fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+            if ctx.local_time == self.0 {
+                Action::Transmit(Payload::Data(ctx.id))
+            } else {
+                Action::Listen
+            }
+        }
+    }
+
+    /// Record every feedback observed.
+    struct Recorder {
+        seen: Vec<Feedback>,
+        when: u64,
+    }
+    impl Protocol for Recorder {
+        fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+            if ctx.local_time == self.when {
+                Action::Transmit(Payload::Data(ctx.id))
+            } else {
+                Action::Listen
+            }
+        }
+        fn on_feedback(&mut self, _ctx: &JobCtx, fb: &Feedback, _rng: &mut dyn RngCore) {
+            self.seen.push(*fb);
+        }
+    }
+
+    #[test]
+    fn lone_transmitter_succeeds() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(2)));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Success { slot: 2 });
+        assert_eq!(r.counts.success, 1);
+        assert_eq!(r.counts.data_success, 1);
+    }
+
+    #[test]
+    fn two_transmitters_collide() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(JobSpec::new(1, 0, 4), Box::new(AtLocal(1)));
+        let r = e.run();
+        assert!(!r.outcome(0).is_success());
+        assert!(!r.outcome(1).is_success());
+        assert_eq!(r.counts.collision, 1);
+    }
+
+    #[test]
+    fn staggered_transmitters_both_succeed() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(JobSpec::new(1, 0, 4), Box::new(AtLocal(3)));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Success { slot: 1 });
+        assert_eq!(r.outcome(1), JobOutcome::Success { slot: 3 });
+    }
+
+    #[test]
+    fn listener_observes_success_and_noise() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        // Jobs 0 and 1 collide at slot 1; job 2 transmits alone at slot 2.
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(JobSpec::new(1, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(
+            JobSpec::new(2, 0, 4),
+            Box::new(Recorder {
+                seen: vec![],
+                when: 2,
+            }),
+        );
+        let r = e.run();
+        assert!(r.outcome(2).is_success());
+        // Recorder saw: silent(0), noise(1), own success(2); retired after 2.
+        // We can't reach the recorder anymore, but the trace confirms.
+        assert_eq!(r.counts.collision, 1);
+        assert_eq!(r.counts.success, 1);
+    }
+
+    #[test]
+    fn deadline_miss_is_recorded() {
+        struct Mute;
+        impl Protocol for Mute {
+            fn act(&mut self, _ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+                Action::Listen
+            }
+        }
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 3), Box::new(Mute));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Missed);
+        assert_eq!(r.slots_run, 3);
+    }
+
+    #[test]
+    fn job_cannot_act_after_window() {
+        // A protocol that would transmit at local_time 5, but window is 3.
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 3), Box::new(AtLocal(5)));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Missed);
+        assert_eq!(r.counts.success, 0);
+    }
+
+    #[test]
+    fn jammer_turns_success_into_noise() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.set_jammer(Jammer::new(JamPolicy::AllSuccesses, 1.0));
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Missed);
+        assert_eq!(r.counts.jammed, 1);
+        assert_eq!(r.counts.success, 0);
+    }
+
+    #[test]
+    fn trace_matches_counts() {
+        let mut e = Engine::new(EngineConfig::default().with_trace(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(JobSpec::new(1, 0, 4), Box::new(AtLocal(1)));
+        e.add_job(JobSpec::new(2, 0, 6), Box::new(AtLocal(4)));
+        let r = e.run();
+        let t = crate::trace::tally(r.trace.as_ref().unwrap());
+        assert_eq!(t.success, r.counts.success);
+        assert_eq!(t.collision, r.counts.collision);
+        assert_eq!(t.silent, r.counts.silent);
+        assert_eq!(t.jammed, r.counts.jammed);
+    }
+
+    #[test]
+    fn idle_gap_fast_forward() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 2), Box::new(AtLocal(0)));
+        e.add_job(JobSpec::new(1, 1_000_000, 1_000_002), Box::new(AtLocal(0)));
+        let r = e.run();
+        assert!(r.outcome(0).is_success());
+        assert!(r.outcome(1).is_success());
+        // The gap is skipped in O(1), but stays accounted as silence:
+        // the books always balance. (That this test completes instantly
+        // is itself the evidence the loop did not walk a million slots.)
+        assert_eq!(r.counts.total(), r.slots_run);
+        assert!(r.counts.silent >= 999_000);
+    }
+
+    #[test]
+    fn aligned_clock_exposure() {
+        struct NeedsClock;
+        impl Protocol for NeedsClock {
+            fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+                // With alignment, global time is release + local_time.
+                assert_eq!(ctx.aligned_now(), 8 + ctx.local_time);
+                Action::Listen
+            }
+        }
+        let mut e = Engine::new(EngineConfig::aligned(), 1);
+        e.add_job(JobSpec::new(0, 8, 16), Box::new(NeedsClock));
+        let _ = e.run();
+    }
+
+    #[test]
+    fn unaligned_ctx_hides_global_clock() {
+        struct AssertHidden;
+        impl Protocol for AssertHidden {
+            fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+                assert!(ctx.aligned_time.is_none());
+                Action::Listen
+            }
+        }
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 3, 7), Box::new(AssertHidden));
+        let _ = e.run();
+    }
+
+    #[test]
+    fn declared_contention_in_trace() {
+        struct HalfProb;
+        impl Protocol for HalfProb {
+            fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+                Action::Transmit(Payload::Data(ctx.id))
+            }
+            fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
+                Some(0.5)
+            }
+        }
+        let mut e = Engine::new(EngineConfig::default().with_trace(), 1);
+        e.add_job(JobSpec::new(0, 0, 2), Box::new(HalfProb));
+        e.add_job(JobSpec::new(1, 0, 2), Box::new(HalfProb));
+        let r = e.run();
+        let trace = r.trace.as_ref().unwrap();
+        assert!((trace[0].declared_contention - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Stochastic jamming adversaries (Section 3, "Jamming").
+//!
+//! The paper's adversary "can look at slots and decide to create noise in
+//! that slot, e.g., if a message is broadcast. (Here the adversary can even
+//! look at the contents of the message itself.) If the adversary decides to
+//! jam, the jamming succeeds with some constant probability `p_jam`."
+//!
+//! [`Jammer`] implements that interface: each slot, the adversary sees the
+//! tentative channel resolution (including message content on a would-be
+//! success) and decides whether to *attempt* a jam; an attempt succeeds with
+//! probability `p_jam`. A successful jam turns the slot into noise.
+
+use crate::job::JobId;
+use crate::message::Payload;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the adversary sees before deciding to jam a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotView {
+    /// Nobody is transmitting.
+    Silent,
+    /// Exactly one transmission; the adversary may read it.
+    Single {
+        /// Transmitting job.
+        src: JobId,
+        /// The message being sent.
+        payload: Payload,
+    },
+    /// Already a collision (jamming is redundant but allowed).
+    Collision {
+        /// Number of simultaneous transmissions.
+        n_tx: usize,
+    },
+}
+
+/// When the adversary chooses to attempt a jam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JamPolicy {
+    /// Never jam (the clean channel of Sections 2 and 4).
+    Never,
+    /// Attempt to jam every slot that would otherwise be a success.
+    AllSuccesses,
+    /// Attempt to jam only successful **control** messages — the paper's
+    /// example of an adversary trying to "skew the estimate `n_ℓ` by jamming
+    /// only some of the phases during the estimation protocol".
+    ControlOnly,
+    /// Attempt to jam only successful **data** messages (attacks delivery
+    /// directly, leaving coordination intact).
+    DataOnly,
+    /// Attempt to jam every slot (even silence) with probability `attempt`.
+    Random {
+        /// Probability of deciding to attempt a jam in a slot.
+        attempt: f64,
+    },
+}
+
+/// A stochastic jamming adversary.
+#[derive(Debug, Clone)]
+pub struct Jammer {
+    policy: JamPolicy,
+    /// Probability that an attempted jam succeeds (paper's `p_jam`).
+    p_jam: f64,
+    jams_attempted: u64,
+    jams_succeeded: u64,
+}
+
+impl Jammer {
+    /// Build an adversary. `p_jam` must be in `[0, 1]`; the paper's analysis
+    /// assumes `p_jam <= 1/2` but the simulator permits the full range so the
+    /// breakdown regime can be explored.
+    pub fn new(policy: JamPolicy, p_jam: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_jam), "p_jam must be in [0,1]");
+        Self {
+            policy,
+            p_jam,
+            jams_attempted: 0,
+            jams_succeeded: 0,
+        }
+    }
+
+    /// The adversary that never interferes.
+    pub fn none() -> Self {
+        Self::new(JamPolicy::Never, 0.0)
+    }
+
+    /// Decide whether this slot is jammed. Called once per slot by the
+    /// engine with the adversary's private randomness.
+    pub fn jams(&mut self, view: SlotView, rng: &mut ChaCha8Rng) -> bool {
+        let attempt = match (self.policy, view) {
+            (JamPolicy::Never, _) => false,
+            (JamPolicy::AllSuccesses, SlotView::Single { .. }) => true,
+            (JamPolicy::AllSuccesses, _) => false,
+            (JamPolicy::ControlOnly, SlotView::Single { payload, .. }) => !payload.is_data(),
+            (JamPolicy::ControlOnly, _) => false,
+            (JamPolicy::DataOnly, SlotView::Single { payload, .. }) => payload.is_data(),
+            (JamPolicy::DataOnly, _) => false,
+            (JamPolicy::Random { attempt }, _) => rng.gen_bool(attempt),
+        };
+        if !attempt {
+            return false;
+        }
+        self.jams_attempted += 1;
+        let success = rng.gen_bool(self.p_jam);
+        if success {
+            self.jams_succeeded += 1;
+        }
+        success
+    }
+
+    /// Number of jam attempts so far.
+    pub fn attempted(&self) -> u64 {
+        self.jams_attempted
+    }
+
+    /// Number of successful jams so far.
+    pub fn succeeded(&self) -> u64 {
+        self.jams_succeeded
+    }
+
+    /// The configured `p_jam`.
+    pub fn p_jam(&self) -> f64 {
+        self.p_jam
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> JamPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ControlMsg;
+    use crate::rng::{SeedSeq, StreamLabel};
+
+    fn rng() -> ChaCha8Rng {
+        SeedSeq::new(123).rng(StreamLabel::Jammer, 0)
+    }
+
+    fn single_data() -> SlotView {
+        SlotView::Single {
+            src: 0,
+            payload: Payload::Data(0),
+        }
+    }
+
+    fn single_control() -> SlotView {
+        SlotView::Single {
+            src: 0,
+            payload: Payload::Control(ControlMsg::of_kind(1)),
+        }
+    }
+
+    #[test]
+    fn never_policy_never_jams() {
+        let mut j = Jammer::none();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(!j.jams(single_data(), &mut r));
+        }
+        assert_eq!(j.attempted(), 0);
+    }
+
+    #[test]
+    fn p_jam_one_always_succeeds_on_successes() {
+        let mut j = Jammer::new(JamPolicy::AllSuccesses, 1.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(j.jams(single_data(), &mut r));
+            assert!(!j.jams(SlotView::Silent, &mut r));
+        }
+        assert_eq!(j.succeeded(), 50);
+    }
+
+    #[test]
+    fn control_only_ignores_data() {
+        let mut j = Jammer::new(JamPolicy::ControlOnly, 1.0);
+        let mut r = rng();
+        assert!(!j.jams(single_data(), &mut r));
+        assert!(j.jams(single_control(), &mut r));
+    }
+
+    #[test]
+    fn data_only_ignores_control() {
+        let mut j = Jammer::new(JamPolicy::DataOnly, 1.0);
+        let mut r = rng();
+        assert!(j.jams(single_data(), &mut r));
+        assert!(!j.jams(single_control(), &mut r));
+    }
+
+    #[test]
+    fn jam_success_rate_tracks_p_jam() {
+        let mut j = Jammer::new(JamPolicy::AllSuccesses, 0.5);
+        let mut r = rng();
+        let n: u32 = 20_000;
+        let mut wins = 0u32;
+        for _ in 0..n {
+            if j.jams(single_data(), &mut r) {
+                wins += 1;
+            }
+        }
+        let rate = f64::from(wins) / f64::from(n);
+        assert!((rate - 0.5).abs() < 0.02, "rate={rate}");
+        assert_eq!(j.attempted(), u64::from(n));
+    }
+
+    #[test]
+    #[should_panic(expected = "p_jam")]
+    fn invalid_p_jam_rejected() {
+        let _ = Jammer::new(JamPolicy::Never, 1.5);
+    }
+}

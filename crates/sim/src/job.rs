@@ -1,0 +1,104 @@
+//! Job identities and deadline windows.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job within one simulation.
+///
+/// Job IDs exist for bookkeeping and for tagging data messages; the paper's
+/// jobs "do not have distinct IDs" in the sense that protocols must not use
+/// the numeric value for coordination (and none of the protocols in this
+/// workspace do — IDs only ever travel *inside* transmitted messages, which
+/// is permitted since a successful transmission delivers its content).
+pub type JobId = u32;
+
+/// A unit-length message with a delivery window.
+///
+/// The window is the half-open slot interval `[release, deadline)`; the job
+/// is activated at `release`, may touch the channel only during its window,
+/// and must deliver its data message strictly before `deadline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Identifier, unique within one instance.
+    pub id: JobId,
+    /// First slot of the window (the job's arrival / activation slot).
+    pub release: u64,
+    /// One past the last slot of the window.
+    pub deadline: u64,
+}
+
+impl JobSpec {
+    /// Create a job spec. Panics if `deadline <= release` (empty window).
+    pub fn new(id: JobId, release: u64, deadline: u64) -> Self {
+        assert!(
+            deadline > release,
+            "job {id}: window [{release}, {deadline}) is empty"
+        );
+        Self {
+            id,
+            release,
+            deadline,
+        }
+    }
+
+    /// Window size `w = deadline - release`.
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.deadline - self.release
+    }
+
+    /// True if `slot` lies inside the window `[release, deadline)`.
+    #[inline]
+    pub fn contains(&self, slot: u64) -> bool {
+        slot >= self.release && slot < self.deadline
+    }
+
+    /// The job class `ℓ = log2(w)` used by ALIGNED, valid when the window
+    /// size is a power of two.
+    #[inline]
+    pub fn class(&self) -> u32 {
+        debug_assert!(self.window().is_power_of_two());
+        self.window().trailing_zeros()
+    }
+
+    /// True if the window is power-of-2 sized *and* starts at a multiple of
+    /// its size (the paper's "power-of-2-aligned" condition).
+    pub fn is_aligned(&self) -> bool {
+        let w = self.window();
+        w.is_power_of_two() && self.release.is_multiple_of(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_size_and_contains() {
+        let j = JobSpec::new(3, 8, 16);
+        assert_eq!(j.window(), 8);
+        assert!(j.contains(8));
+        assert!(j.contains(15));
+        assert!(!j.contains(16));
+        assert!(!j.contains(7));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(JobSpec::new(0, 0, 8).is_aligned());
+        assert!(JobSpec::new(0, 16, 24).is_aligned());
+        assert!(!JobSpec::new(0, 4, 12).is_aligned()); // start not multiple of 8
+        assert!(!JobSpec::new(0, 0, 6).is_aligned()); // size not a power of 2
+    }
+
+    #[test]
+    fn class_of_aligned_window() {
+        assert_eq!(JobSpec::new(0, 0, 1).class(), 0);
+        assert_eq!(JobSpec::new(0, 32, 64).class(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_window_rejected() {
+        let _ = JobSpec::new(0, 5, 5);
+    }
+}

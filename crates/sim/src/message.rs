@@ -1,0 +1,90 @@
+//! Message payloads carried on the channel.
+//!
+//! The paper distinguishes **data messages** — the unit-length message each
+//! job must deliver within its window — from **control messages** that
+//! protocols may additionally transmit "to facilitate coordination"
+//! (Section 1.1). The channel does not interpret payloads; it only delivers
+//! the content of a successful (collision-free, unjammed) transmission to
+//! every listener.
+
+use crate::job::JobId;
+use serde::{Deserialize, Serialize};
+
+/// A protocol-defined control message.
+///
+/// Control messages are modelled as a small fixed-size record — a `kind`
+/// discriminant plus three 64-bit words — mirroring a real MAC-layer control
+/// frame. Higher-level crates (e.g. `dcr-core`'s PUNCTUAL implementation)
+/// define typed views that encode/decode into this wire format; keeping the
+/// wire type `Copy` keeps the per-slot hot path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlMsg {
+    /// Protocol-defined discriminant (e.g. "start", "leader beacon").
+    pub kind: u16,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+impl ControlMsg {
+    /// A control message with the given kind and all payload words zero.
+    pub const fn of_kind(kind: u16) -> Self {
+        Self {
+            kind,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
+    }
+}
+
+/// The content of a transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Payload {
+    /// The data message of job `JobId`. Successfully delivering this inside
+    /// the job's window is the goal of the whole exercise; the engine counts
+    /// a job as succeeded the first time its `Data` payload is delivered.
+    Data(JobId),
+    /// A coordination message (estimation pings, leader beacons, ...).
+    Control(ControlMsg),
+}
+
+impl Payload {
+    /// True if this payload is a data message.
+    #[inline]
+    pub fn is_data(&self) -> bool {
+        matches!(self, Payload::Data(_))
+    }
+
+    /// The job whose data message this is, if any.
+    #[inline]
+    pub fn data_owner(&self) -> Option<JobId> {
+        match self {
+            Payload::Data(id) => Some(*id),
+            Payload::Control(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_classification() {
+        assert!(Payload::Data(7).is_data());
+        assert_eq!(Payload::Data(7).data_owner(), Some(7));
+        let c = Payload::Control(ControlMsg::of_kind(3));
+        assert!(!c.is_data());
+        assert_eq!(c.data_owner(), None);
+    }
+
+    #[test]
+    fn control_msg_is_small() {
+        // The payload travels by value through the hot path; keep it lean.
+        assert!(std::mem::size_of::<Payload>() <= 40);
+    }
+}

@@ -1,0 +1,273 @@
+//! Simulation outcomes and aggregate metrics.
+
+use crate::job::{JobId, JobSpec};
+use crate::trace::SlotRecord;
+use serde::{Deserialize, Serialize};
+
+/// The fate of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The job's data message was delivered in `slot` (inside its window).
+    Success {
+        /// The slot of the successful delivery.
+        slot: u64,
+    },
+    /// The window closed without a successful delivery.
+    Missed,
+}
+
+impl JobOutcome {
+    /// True if the deadline was met.
+    #[inline]
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobOutcome::Success { .. })
+    }
+
+    /// Delivery slot, if successful.
+    #[inline]
+    pub fn slot(&self) -> Option<u64> {
+        match self {
+            JobOutcome::Success { slot } => Some(*slot),
+            JobOutcome::Missed => None,
+        }
+    }
+}
+
+/// Per-slot channel activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotCounts {
+    /// Slots with no transmission and no jam.
+    pub silent: u64,
+    /// Slots that delivered a message.
+    pub success: u64,
+    /// Slots with a genuine collision (>= 2 transmissions).
+    pub collision: u64,
+    /// Slots the adversary jammed.
+    pub jammed: u64,
+    /// Successful slots that carried a data message (subset of `success`).
+    pub data_success: u64,
+}
+
+impl SlotCounts {
+    /// Total slots accounted for.
+    pub fn total(&self) -> u64 {
+        self.silent + self.success + self.collision + self.jammed
+    }
+}
+
+/// Per-job channel-access counters — the "energy" complexity that much of
+/// the contention-resolution literature optimizes (transmitting and
+/// listening both cost radio power; sleeping is free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Slots in which the job transmitted.
+    pub transmissions: u64,
+    /// Slots in which the job listened without transmitting.
+    pub listens: u64,
+}
+
+impl AccessCounts {
+    /// Total radio-active slots.
+    pub fn total(&self) -> u64 {
+        self.transmissions + self.listens
+    }
+}
+
+/// The result of running one simulation to completion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The jobs that were simulated, in the order they were added.
+    pub jobs: Vec<JobSpec>,
+    /// Outcome per job, indexed by job id.
+    outcomes: Vec<JobOutcome>,
+    /// Channel activity counters.
+    pub counts: SlotCounts,
+    /// Per-job channel-access counters, indexed by job id.
+    pub accesses: Vec<AccessCounts>,
+    /// Number of slots simulated.
+    pub slots_run: u64,
+    /// The master seed used (for replay).
+    pub seed: u64,
+    /// Full per-slot trace if `EngineConfig::record_trace` was set.
+    pub trace: Option<Vec<SlotRecord>>,
+}
+
+impl SimReport {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        jobs: Vec<JobSpec>,
+        outcomes: Vec<JobOutcome>,
+        counts: SlotCounts,
+        accesses: Vec<AccessCounts>,
+        slots_run: u64,
+        seed: u64,
+        trace: Option<Vec<SlotRecord>>,
+    ) -> Self {
+        Self {
+            jobs,
+            outcomes,
+            counts,
+            accesses,
+            slots_run,
+            seed,
+            trace,
+        }
+    }
+
+    /// Outcome of job `id`. Panics if `id` was not simulated.
+    pub fn outcome(&self, id: JobId) -> JobOutcome {
+        self.outcomes[id as usize]
+    }
+
+    /// All outcomes, indexed by job id.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of jobs that met their deadline.
+    pub fn successes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_success()).count()
+    }
+
+    /// Number of jobs that missed their deadline.
+    pub fn misses(&self) -> usize {
+        self.outcomes.len() - self.successes()
+    }
+
+    /// Fraction of jobs that met their deadline (1.0 for an empty instance).
+    pub fn success_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        self.successes() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Success fraction restricted to jobs with window size exactly `w`.
+    pub fn success_fraction_for_window(&self, w: u64) -> Option<f64> {
+        let mut total = 0usize;
+        let mut ok = 0usize;
+        for job in &self.jobs {
+            if job.window() == w {
+                total += 1;
+                if self.outcome(job.id).is_success() {
+                    ok += 1;
+                }
+            }
+        }
+        (total > 0).then(|| ok as f64 / total as f64)
+    }
+
+    /// Iterator over `(spec, outcome)` pairs.
+    pub fn per_job(&self) -> impl Iterator<Item = (&JobSpec, JobOutcome)> + '_ {
+        self.jobs.iter().map(|j| (j, self.outcome(j.id)))
+    }
+
+    /// Latency (delivery slot − release) of each successful job.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.per_job()
+            .filter_map(|(j, o)| o.slot().map(|s| s - j.release))
+            .collect()
+    }
+
+    /// Channel accesses of job `id`.
+    pub fn accesses_of(&self, id: JobId) -> AccessCounts {
+        self.accesses[id as usize]
+    }
+
+    /// Mean transmissions per job (NaN for an empty instance).
+    pub fn mean_transmissions(&self) -> f64 {
+        if self.accesses.is_empty() {
+            return f64::NAN;
+        }
+        self.accesses.iter().map(|a| a.transmissions as f64).sum::<f64>()
+            / self.accesses.len() as f64
+    }
+
+    /// Mean radio-active (transmit + listen) slots per job.
+    pub fn mean_accesses(&self) -> f64 {
+        if self.accesses.is_empty() {
+            return f64::NAN;
+        }
+        self.accesses.iter().map(|a| a.total() as f64).sum::<f64>()
+            / self.accesses.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let jobs = vec![
+            JobSpec::new(0, 0, 8),
+            JobSpec::new(1, 0, 8),
+            JobSpec::new(2, 4, 8),
+        ];
+        let outcomes = vec![
+            JobOutcome::Success { slot: 3 },
+            JobOutcome::Missed,
+            JobOutcome::Success { slot: 5 },
+        ];
+        SimReport::new(
+            jobs,
+            outcomes,
+            SlotCounts {
+                silent: 4,
+                success: 2,
+                collision: 1,
+                jammed: 1,
+                data_success: 2,
+            },
+            vec![
+                AccessCounts { transmissions: 1, listens: 3 },
+                AccessCounts { transmissions: 8, listens: 0 },
+                AccessCounts { transmissions: 1, listens: 1 },
+            ],
+            8,
+            42,
+            None,
+        )
+    }
+
+    #[test]
+    fn success_accounting() {
+        let r = report();
+        assert_eq!(r.successes(), 2);
+        assert_eq!(r.misses(), 1);
+        assert!((r.success_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_window_fraction() {
+        let r = report();
+        assert_eq!(r.success_fraction_for_window(8), Some(0.5));
+        assert_eq!(r.success_fraction_for_window(4), Some(1.0));
+        assert_eq!(r.success_fraction_for_window(16), None);
+    }
+
+    #[test]
+    fn latencies_are_relative_to_release() {
+        let r = report();
+        assert_eq!(r.latencies(), vec![3, 1]);
+    }
+
+    #[test]
+    fn counts_total() {
+        assert_eq!(report().counts.total(), 8);
+    }
+
+    #[test]
+    fn empty_instance_success_fraction_is_one() {
+        let r = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, None);
+        assert_eq!(r.success_fraction(), 1.0);
+        assert!(r.mean_accesses().is_nan());
+    }
+
+    #[test]
+    fn access_accounting() {
+        let r = report();
+        assert_eq!(r.accesses_of(1).transmissions, 8);
+        assert!((r.mean_transmissions() - 10.0 / 3.0).abs() < 1e-12);
+        assert!((r.mean_accesses() - 14.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Slot-level channel feedback.
+
+use crate::job::JobId;
+use crate::message::Payload;
+use serde::{Deserialize, Serialize};
+
+/// What a listener observes in one slot.
+///
+/// This is the paper's trinary feedback with collision detection: listeners
+/// "can distinguish between silence and noise", and a successful broadcast
+/// delivers its content. Jamming (Section 3) manifests as [`Feedback::Noise`]
+/// even when only one player transmitted — listeners cannot tell a jammed
+/// singleton apart from a genuine collision, which is exactly the adversary's
+/// power in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feedback {
+    /// Nobody transmitted (and the jammer left the slot alone).
+    Silent,
+    /// Exactly one transmission, not jammed: content is delivered.
+    Success {
+        /// The transmitting job.
+        src: JobId,
+        /// The delivered message.
+        payload: Payload,
+    },
+    /// Two or more transmissions collided, or the slot was jammed.
+    Noise,
+}
+
+impl Feedback {
+    /// True if the slot carried a successful transmission.
+    #[inline]
+    pub fn is_success(&self) -> bool {
+        matches!(self, Feedback::Success { .. })
+    }
+
+    /// True if the slot was silent.
+    #[inline]
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Feedback::Silent)
+    }
+
+    /// True if the slot was noisy (collision or jam).
+    #[inline]
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Feedback::Noise)
+    }
+
+    /// True if the slot was "busy" — a message or a collision. PUNCTUAL's
+    /// round synchronization watches for two consecutive busy slots.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        !self.is_silent()
+    }
+
+    /// The delivered payload, if the slot was a success.
+    #[inline]
+    pub fn payload(&self) -> Option<&Payload> {
+        match self {
+            Feedback::Success { payload, .. } => Some(payload),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        let s = Feedback::Silent;
+        let n = Feedback::Noise;
+        let ok = Feedback::Success {
+            src: 1,
+            payload: Payload::Data(1),
+        };
+        assert!(s.is_silent() && !s.is_busy() && !s.is_success());
+        assert!(n.is_noise() && n.is_busy() && !n.is_success());
+        assert!(ok.is_success() && ok.is_busy() && !ok.is_noise());
+        assert_eq!(ok.payload(), Some(&Payload::Data(1)));
+        assert_eq!(s.payload(), None);
+    }
+}

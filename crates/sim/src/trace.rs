@@ -1,0 +1,133 @@
+//! Optional per-slot execution traces.
+//!
+//! Traces are off by default (the hot path only bumps counters); enable them
+//! via [`crate::engine::EngineConfig::record_trace`] to regenerate Figure 1
+//! of the paper or to debug a protocol slot by slot.
+
+use crate::job::JobId;
+use crate::message::Payload;
+use serde::{Deserialize, Serialize};
+
+/// How one slot resolved, with enough detail to reconstruct schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// No transmissions, not jammed.
+    Silent,
+    /// A delivered transmission.
+    Success {
+        /// Transmitting job.
+        src: JobId,
+        /// Whether the delivered message was a data message.
+        was_data: bool,
+    },
+    /// `n_tx >= 2` transmissions collided.
+    Collision {
+        /// Number of simultaneous transmissions.
+        n_tx: u32,
+    },
+    /// The adversary jammed the slot (hiding `n_tx` underlying transmissions,
+    /// possibly zero or one).
+    Jammed {
+        /// Number of transmissions the jam obscured.
+        n_tx: u32,
+    },
+}
+
+/// A full record of one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Global slot index.
+    pub slot: u64,
+    /// Channel resolution.
+    pub outcome: SlotOutcome,
+    /// Number of jobs live (activated, window not yet over, not finished)
+    /// during the slot.
+    pub live_jobs: u32,
+    /// Sum of the transmission probabilities the live protocols *declared*
+    /// for this slot (the paper's contention `C(t)`), where available.
+    /// Protocols that do not implement [`crate::engine::Protocol::tx_probability`]
+    /// contribute their realized action (1.0 if they transmitted, else 0.0).
+    pub declared_contention: f64,
+    /// The payload delivered, if the slot was a success. Kept out of
+    /// `SlotOutcome` so the common case stays `Copy`-cheap to filter on.
+    pub payload: Option<Payload>,
+}
+
+impl SlotRecord {
+    /// True if the slot delivered a data message.
+    pub fn is_data_success(&self) -> bool {
+        matches!(self.outcome, SlotOutcome::Success { was_data: true, .. })
+    }
+}
+
+/// Summary statistics computable from a trace; used by tests and the
+/// experiment harness to cross-check the engine's running counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTally {
+    /// Silent slots.
+    pub silent: u64,
+    /// Successful slots.
+    pub success: u64,
+    /// Collision slots.
+    pub collision: u64,
+    /// Jammed slots.
+    pub jammed: u64,
+}
+
+/// Tally a trace's slot outcomes.
+pub fn tally(trace: &[SlotRecord]) -> TraceTally {
+    let mut t = TraceTally::default();
+    for rec in trace {
+        match rec.outcome {
+            SlotOutcome::Silent => t.silent += 1,
+            SlotOutcome::Success { .. } => t.success += 1,
+            SlotOutcome::Collision { .. } => t.collision += 1,
+            SlotOutcome::Jammed { .. } => t.jammed += 1,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(slot: u64, outcome: SlotOutcome) -> SlotRecord {
+        SlotRecord {
+            slot,
+            outcome,
+            live_jobs: 0,
+            declared_contention: 0.0,
+            payload: None,
+        }
+    }
+
+    #[test]
+    fn tally_counts_each_kind() {
+        let trace = vec![
+            rec(0, SlotOutcome::Silent),
+            rec(1, SlotOutcome::Success { src: 1, was_data: true }),
+            rec(2, SlotOutcome::Collision { n_tx: 3 }),
+            rec(3, SlotOutcome::Jammed { n_tx: 1 }),
+            rec(4, SlotOutcome::Silent),
+        ];
+        let t = tally(&trace);
+        assert_eq!(
+            t,
+            TraceTally {
+                silent: 2,
+                success: 1,
+                collision: 1,
+                jammed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn data_success_detection() {
+        let mut r = rec(0, SlotOutcome::Success { src: 2, was_data: true });
+        assert!(r.is_data_success());
+        r.outcome = SlotOutcome::Success { src: 2, was_data: false };
+        assert!(!r.is_data_success());
+    }
+}

@@ -1,0 +1,158 @@
+//! Contract tests for the engine ↔ protocol interface: the guarantees a
+//! protocol author may rely on, checked with instrumented probe protocols.
+
+use dcr_sim::engine::{Action, Engine, EngineConfig, JobCtx, Protocol};
+use dcr_sim::job::JobSpec;
+use dcr_sim::message::Payload;
+use dcr_sim::slot::Feedback;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A job that listens its whole window (keeps the engine alive).
+struct Idle;
+impl Protocol for Idle {
+    fn act(&mut self, _ctx: &JobCtx, _rng: &mut dyn rand::RngCore) -> Action {
+        Action::Listen
+    }
+}
+
+/// Records every interface call it receives.
+#[derive(Default)]
+struct Probe {
+    activations: Arc<AtomicU64>,
+    acts: Arc<AtomicU64>,
+    feedbacks: Arc<AtomicU64>,
+    last_local: Arc<AtomicU64>,
+    sleep_from: u64,
+}
+
+impl Protocol for Probe {
+    fn on_activate(&mut self, ctx: &JobCtx, _rng: &mut dyn rand::RngCore) {
+        assert_eq!(ctx.local_time, 0, "activation happens at local time 0");
+        self.activations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn rand::RngCore) -> Action {
+        let prev = self.last_local.swap(ctx.local_time, Ordering::Relaxed);
+        let n = self.acts.fetch_add(1, Ordering::Relaxed);
+        if n > 0 {
+            assert_eq!(ctx.local_time, prev + 1, "local time advances by one");
+        } else {
+            assert_eq!(ctx.local_time, 0, "first act at local time 0");
+        }
+        if ctx.local_time >= self.sleep_from {
+            Action::Sleep
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn on_feedback(&mut self, ctx: &JobCtx, _fb: &Feedback, _rng: &mut dyn rand::RngCore) {
+        assert!(
+            ctx.local_time < self.sleep_from,
+            "no feedback for slots the job slept through"
+        );
+        self.feedbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn lifecycle_counts_and_local_time() {
+    let activations = Arc::new(AtomicU64::new(0));
+    let acts = Arc::new(AtomicU64::new(0));
+    let feedbacks = Arc::new(AtomicU64::new(0));
+    let probe = Probe {
+        activations: activations.clone(),
+        acts: acts.clone(),
+        feedbacks: feedbacks.clone(),
+        last_local: Arc::new(AtomicU64::new(0)),
+        sleep_from: 6,
+    };
+    let mut e = Engine::new(EngineConfig::default(), 5);
+    e.add_job(JobSpec::new(0, 3, 13), Box::new(probe));
+    // A second job keeps the channel alive past job 0's window.
+    e.add_job(
+        JobSpec::new(1, 0, 20),
+        Box::new(Idle),
+    );
+    let r = e.run();
+    assert_eq!(activations.load(Ordering::Relaxed), 1, "one activation");
+    // Window [3, 13): 10 acts.
+    assert_eq!(acts.load(Ordering::Relaxed), 10);
+    // Feedback only for the 6 listening slots (local 0..6).
+    assert_eq!(feedbacks.load(Ordering::Relaxed), 6);
+    assert_eq!(r.accesses_of(0).listens, 6);
+    assert_eq!(r.accesses_of(0).transmissions, 0);
+}
+
+#[test]
+fn transmitter_always_observes_its_slot() {
+    struct TxProbe {
+        got_feedback: Arc<AtomicU64>,
+    }
+    impl Protocol for TxProbe {
+        fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn rand::RngCore) -> Action {
+            if ctx.local_time.is_multiple_of(2) {
+                Action::Transmit(Payload::Data(ctx.id))
+            } else {
+                Action::Sleep
+            }
+        }
+        fn on_feedback(&mut self, ctx: &JobCtx, fb: &Feedback, _rng: &mut dyn rand::RngCore) {
+            assert_eq!(ctx.local_time % 2, 0);
+            // Two transmitters collide every even slot: feedback is noise.
+            assert!(fb.is_noise());
+            self.got_feedback.fetch_add(1, Ordering::Relaxed);
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    let got0 = Arc::new(AtomicU64::new(0));
+    let got1 = Arc::new(AtomicU64::new(0));
+    let mut e = Engine::new(EngineConfig::default(), 5);
+    e.add_job(JobSpec::new(0, 0, 8), Box::new(TxProbe { got_feedback: got0.clone() }));
+    e.add_job(JobSpec::new(1, 0, 8), Box::new(TxProbe { got_feedback: got1.clone() }));
+    let r = e.run();
+    assert_eq!(got0.load(Ordering::Relaxed), 4);
+    assert_eq!(got1.load(Ordering::Relaxed), 4);
+    assert_eq!(r.counts.collision, 4);
+    assert_eq!(r.counts.silent, 4);
+}
+
+#[test]
+fn max_slots_cap_is_respected() {
+    let mut e = Engine::new(
+        EngineConfig {
+            max_slots: Some(5),
+            ..EngineConfig::default()
+        },
+        1,
+    );
+    e.add_job(JobSpec::new(0, 0, 100), Box::new(Idle));
+    let r = e.run();
+    assert_eq!(r.slots_run, 5);
+    assert!(!r.outcome(0).is_success());
+}
+
+#[test]
+fn is_done_retires_early_and_stops_callbacks() {
+    struct QuitAfter(u64, Arc<AtomicU64>);
+    impl Protocol for QuitAfter {
+        fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn rand::RngCore) -> Action {
+            self.1.fetch_add(1, Ordering::Relaxed);
+            assert!(ctx.local_time <= self.0, "no act after is_done");
+            Action::Listen
+        }
+        fn is_done(&self) -> bool {
+            self.1.load(Ordering::Relaxed) > self.0
+        }
+    }
+    let calls = Arc::new(AtomicU64::new(0));
+    let mut e = Engine::new(EngineConfig::default(), 1);
+    e.add_job(JobSpec::new(0, 0, 100), Box::new(QuitAfter(3, calls.clone())));
+    e.add_job(JobSpec::new(1, 0, 10), Box::new(Idle));
+    let r = e.run();
+    assert_eq!(calls.load(Ordering::Relaxed), 4, "acts stop after is_done");
+    assert_eq!(r.slots_run, 10, "other jobs keep the engine going");
+}

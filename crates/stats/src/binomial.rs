@@ -1,0 +1,141 @@
+//! Binomial proportions with Wilson score confidence intervals.
+//!
+//! Experiment tables report empirical success/failure probabilities; the
+//! Wilson interval behaves sensibly even at the extremes (0 or all
+//! successes), which matters because the paper's high-probability events
+//! often succeed in *every* trial at moderate window sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// An observed proportion `hits / trials` with interval estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Proportion {
+    /// Number of positive observations.
+    pub hits: u64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl Proportion {
+    /// Construct; panics if `hits > trials`.
+    pub fn new(hits: u64, trials: u64) -> Self {
+        assert!(hits <= trials, "hits {hits} > trials {trials}");
+        Self { hits, trials }
+    }
+
+    /// The point estimate (`NaN` for zero trials).
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            f64::NAN
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// The complement proportion (failures).
+    pub fn complement(&self) -> Proportion {
+        Proportion::new(self.trials - self.hits, self.trials)
+    }
+
+    /// Wilson score interval at normal quantile `z` (1.96 ≈ 95%).
+    pub fn wilson(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// 95% Wilson interval.
+    pub fn wilson95(&self) -> (f64, f64) {
+        self.wilson(1.959_963_985)
+    }
+
+    /// Upper 95% bound on the true probability when zero hits were seen
+    /// ("rule of three": ≈ 3/n), otherwise the Wilson upper bound.
+    pub fn upper95(&self) -> f64 {
+        if self.hits == 0 && self.trials > 0 {
+            (3.0 / self.trials as f64).min(1.0)
+        } else {
+            self.wilson95().1
+        }
+    }
+}
+
+impl std::fmt::Display for Proportion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.wilson95();
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] ({}/{})",
+            self.estimate(),
+            lo,
+            hi,
+            self.hits,
+            self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate() {
+        assert!((Proportion::new(25, 100).estimate() - 0.25).abs() < 1e-12);
+        assert!(Proportion::new(0, 0).estimate().is_nan());
+    }
+
+    #[test]
+    fn wilson_contains_estimate_and_orders() {
+        let p = Proportion::new(30, 100);
+        let (lo, hi) = p.wilson95();
+        assert!(lo < p.estimate() && p.estimate() < hi);
+        assert!(lo > 0.2 && hi < 0.42, "({lo}, {hi})");
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_unit_interval() {
+        let zero = Proportion::new(0, 50);
+        let (lo, hi) = zero.wilson95();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.12);
+        let all = Proportion::new(50, 50);
+        let (lo, hi) = all.wilson95();
+        assert!(lo > 0.88 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn rule_of_three() {
+        let p = Proportion::new(0, 1000);
+        assert!((p.upper95() - 0.003).abs() < 1e-12);
+        // Non-zero hits fall back to Wilson.
+        assert!(Proportion::new(1, 1000).upper95() > 0.001);
+    }
+
+    #[test]
+    fn narrower_with_more_trials() {
+        let small = Proportion::new(5, 10).wilson95();
+        let large = Proportion::new(500, 1000).wilson95();
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn complement_flips() {
+        let p = Proportion::new(30, 100);
+        assert_eq!(p.complement().hits, 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "hits")]
+    fn invalid_counts_rejected() {
+        let _ = Proportion::new(5, 3);
+    }
+}

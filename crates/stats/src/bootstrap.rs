@@ -1,0 +1,140 @@
+//! Bootstrap confidence intervals for arbitrary statistics of Monte-Carlo
+//! samples.
+//!
+//! Wilson intervals (see [`crate::binomial`]) cover proportions; for means
+//! of skewed quantities — makespans, latencies, slot usage — percentile
+//! bootstrap is the robust default. Deterministic given the seed, like
+//! everything else in this workspace.
+
+/// A percentile-bootstrap interval around a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of resamples used.
+    pub resamples: u32,
+}
+
+/// Minimal deterministic xorshift for resampling indices (keeps `dcr-stats`
+/// free of the rand dependency).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Percentile bootstrap of `stat` over `samples` at confidence
+/// `1 − alpha` (e.g. `alpha = 0.05` for 95%). Returns `None` for an empty
+/// sample.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    resamples: u32,
+    alpha: f64,
+    seed: u64,
+    stat: F,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if samples.is_empty() {
+        return None;
+    }
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let point = stat(samples);
+    let mut rng = XorShift::new(seed);
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples as usize);
+    let mut resample = vec![0.0; samples.len()];
+    for _ in 0..resamples {
+        for r in resample.iter_mut() {
+            *r = samples[rng.below(samples.len())];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN statistic"));
+    let idx = |q: f64| -> f64 {
+        let rank = (q * stats.len() as f64).floor() as usize;
+        stats[rank.min(stats.len() - 1)]
+    };
+    Some(BootstrapCi {
+        point,
+        lo: idx(alpha / 2.0),
+        hi: idx(1.0 - alpha / 2.0),
+        resamples,
+    })
+}
+
+/// 95% bootstrap interval of the mean.
+pub fn bootstrap_mean_ci(samples: &[f64], seed: u64) -> Option<BootstrapCi> {
+    bootstrap_ci(samples, 1000, 0.05, seed, |xs| {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_interval_contains_point() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 7).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        // For this tight sample the interval is narrow around ~8.
+        assert!(ci.lo > 7.0 && ci.hi < 9.0, "{ci:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let a = bootstrap_mean_ci(&xs, 3).unwrap();
+        let b = bootstrap_mean_ci(&xs, 3).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&xs, 4).unwrap();
+        assert!(a.lo != c.lo || a.hi != c.hi, "different seeds should differ");
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(bootstrap_mean_ci(&[], 1).is_none());
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let xs = vec![1.0, 2.0, 3.0, 100.0];
+        let ci = bootstrap_ci(&xs, 500, 0.1, 11, |s| {
+            let mut v = s.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        })
+        .unwrap();
+        // The median is robust to the outlier.
+        assert!(ci.point <= 3.0);
+    }
+
+    #[test]
+    fn wider_alpha_narrows_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let wide = bootstrap_ci(&xs, 800, 0.01, 5, |s| s.iter().sum::<f64>() / s.len() as f64)
+            .unwrap();
+        let narrow = bootstrap_ci(&xs, 800, 0.5, 5, |s| s.iter().sum::<f64>() / s.len() as f64)
+            .unwrap();
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+    }
+}

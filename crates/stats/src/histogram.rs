@@ -1,0 +1,149 @@
+//! Fixed-bin histograms and exact quantiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width-bin histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// Absorb a sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total samples including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.below + self.above + self.bins.iter().sum::<u64>()
+    }
+
+    /// The `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// A compact one-line ASCII sparkline of the in-range bins.
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        self.bins
+            .iter()
+            .map(|&c| GLYPHS[(c * 7).checked_div(max).unwrap_or(0) as usize])
+            .collect()
+    }
+}
+
+/// Exact quantile `q ∈ [0, 1]` of the samples, by sorting a copy.
+/// Uses the nearest-rank method; `None` for an empty slice.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q));
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bin(0), 1);
+        assert_eq!(h.bin(1), 2);
+        assert_eq!(h.bin(9), 1);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn bin_ranges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.5), Some(50.0));
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(100.0));
+        assert_eq!(quantile(&xs, 0.99), Some(99.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn sparkline_monotone() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for i in 0..4 {
+            for _ in 0..=i {
+                h.push(i as f64 + 0.5);
+            }
+        }
+        let s: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(s.len(), 4);
+        assert!(s[3] > s[0]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(h.is_empty());
+        assert_eq!(h.sparkline().chars().count(), 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dcr-stats — statistics for Monte-Carlo experiments
+//!
+//! Small, dependency-free statistical helpers used by the experiment
+//! harness: running summaries, binomial proportion confidence intervals
+//! (Wilson score), histograms and quantiles, ordinary least squares on
+//! log–log data (for measuring polynomial failure-probability decay), and
+//! ASCII/CSV table rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binomial;
+pub mod bootstrap;
+pub mod histogram;
+pub mod regression;
+pub mod summary;
+pub mod table;
+
+pub use binomial::Proportion;
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
+pub use histogram::{quantile, Histogram};
+pub use regression::{linear_fit, loglog_slope, LinearFit};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,134 @@
+//! Ordinary least squares, specialized for log–log decay measurement.
+//!
+//! The paper's central guarantee is that failure probability decays
+//! *polynomially* in the window size: `Pr[fail] ≤ 1/w^Θ(λ)`. Empirically
+//! that is a straight line with negative slope on log–log axes;
+//! [`loglog_slope`] fits it and reports the exponent.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Ordinary least squares over `(x, y)` pairs. Returns `None` with fewer
+/// than two distinct x values.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = points
+        .iter()
+        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+        n,
+    })
+}
+
+/// Fit `log(y) ≈ a + b·log(x)` over points with `x > 0` and `y > 0`,
+/// returning the fit on the transformed axes. The returned `slope` is the
+/// polynomial exponent: `y ∝ x^slope`.
+///
+/// Points with `y == 0` (e.g. "no failures observed at this window size")
+/// are replaced by `floor_y` if provided — a standard censoring device so a
+/// string of zero counts doesn't silently drop the most informative points —
+/// or skipped when `floor_y` is `None`.
+pub fn loglog_slope(points: &[(f64, f64)], floor_y: Option<f64>) -> Option<LinearFit> {
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .filter_map(|&(x, y)| {
+            if x <= 0.0 {
+                return None;
+            }
+            let y = if y > 0.0 {
+                y
+            } else {
+                floor_y?
+            };
+            Some((x.ln(), y.ln()))
+        })
+        .collect();
+    linear_fit(&transformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn power_law_recovered() {
+        // y = 5 x^{-2}
+        let pts: Vec<(f64, f64)> = [2.0f64, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&x| (x, 5.0 * x.powi(-2)))
+            .collect();
+        let f = loglog_slope(&pts, None).unwrap();
+        assert!((f.slope + 2.0).abs() < 1e-9, "slope={}", f.slope);
+        assert!((f.intercept - 5.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_y_censoring() {
+        let pts = vec![(2.0, 0.1), (4.0, 0.01), (8.0, 0.0)];
+        // Without a floor the zero point is dropped.
+        assert_eq!(loglog_slope(&pts, None).unwrap().n, 2);
+        // With a floor it participates.
+        assert_eq!(loglog_slope(&pts, Some(1e-4)).unwrap().n, 3);
+    }
+
+    #[test]
+    fn noisy_fit_r2_below_one() {
+        let pts = vec![(1.0, 1.1), (2.0, 1.9), (3.0, 3.2), (4.0, 3.8)];
+        let f = linear_fit(&pts).unwrap();
+        assert!(f.r2 > 0.9 && f.r2 < 1.0);
+    }
+}

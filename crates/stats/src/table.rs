@@ -1,0 +1,185 @@
+//! ASCII table and CSV rendering for experiment output.
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use dcr_stats::Table;
+/// let mut t = Table::new(vec!["w", "failure rate"]);
+/// t.row(vec!["64".into(), "0.0312".into()]);
+/// t.row(vec!["128".into(), "0.0071".into()]);
+/// let s = t.render();
+/// assert!(s.contains("failure rate"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Attach a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish: quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 && x.abs() < 1e9 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn title_rendered_first() {
+        let t = Table::new(vec!["x"]).with_title("E1: contention");
+        assert!(t.render().starts_with("E1: contention\n"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(0.5), "0.5000");
+        assert!(fnum(1e-6).contains('e'));
+        assert!(fnum(1.5e9).contains('e'));
+    }
+}

@@ -1,0 +1,124 @@
+//! Adversarial instance families.
+//!
+//! The harmonic instance of Lemma 5 is one point in a family of
+//! worst-case-flavoured workloads; this module provides the recurring
+//! shapes used in the adversarial-queuing literature the paper cites
+//! ([6, 13, 34, 35]) adapted to the deadline model:
+//!
+//! * [`rolling_harmonic`] — the Lemma 5 burst repeated over time, so
+//!   protocols face a *sustained* stream of urgency gradients rather than
+//!   a single batch;
+//! * [`laminar`] — a perfectly nested (laminar) window family, the
+//!   worst case for pecking-order deferral depth;
+//! * [`staircase`] — windows whose releases march forward while deadlines
+//!   stay put, maximizing the EDF pressure at the common deadline.
+
+use crate::instance::Instance;
+use dcr_sim::job::JobSpec;
+
+/// The Lemma 5 harmonic burst (`w_j = j·inv_gamma`, all released together)
+/// repeated every `period` slots, `bursts` times.
+///
+/// Feasible for the same reason the single burst is, provided
+/// `period ≥ n·inv_gamma` (each burst's EDF schedule finishes before the
+/// next burst arrives).
+pub fn rolling_harmonic(n: usize, inv_gamma: u64, period: u64, bursts: usize) -> Instance {
+    assert!(inv_gamma >= 1 && n >= 1 && bursts >= 1);
+    assert!(
+        period >= n as u64 * inv_gamma,
+        "period must cover one burst's schedule for feasibility"
+    );
+    let mut jobs = Vec::with_capacity(n * bursts);
+    for b in 0..bursts {
+        let base = b as u64 * period;
+        for j in 1..=n {
+            jobs.push(JobSpec::new(0, base, base + j as u64 * inv_gamma));
+        }
+    }
+    Instance::new(
+        format!("rolling_harmonic(n={n},1/γ={inv_gamma},p={period}×{bursts})"),
+        jobs,
+    )
+}
+
+/// A laminar (perfectly nested) family: `depth` windows
+/// `[0, s), [0, 2s), [0, 4s), …` each holding `per_level` jobs — every
+/// job's window strictly contains all smaller ones, so pecking-order
+/// deferral chains through every level.
+pub fn laminar(depth: u32, smallest: u64, per_level: usize) -> Instance {
+    assert!(depth >= 1 && smallest >= 1);
+    let mut jobs = Vec::new();
+    for level in 0..depth {
+        let w = smallest << level;
+        for _ in 0..per_level {
+            jobs.push(JobSpec::new(0, 0, w));
+        }
+    }
+    Instance::new(
+        format!("laminar(depth={depth},s={smallest},k={per_level})"),
+        jobs,
+    )
+}
+
+/// A staircase: `n` jobs with releases `0, step, 2·step, …` all sharing
+/// one common deadline — the latest arrival has the least room, and an
+/// EDF-oblivious protocol that serves early arrivals first starves the
+/// tail.
+pub fn staircase(n: usize, step: u64, deadline: u64) -> Instance {
+    assert!(n >= 1);
+    assert!(
+        deadline > (n as u64 - 1) * step,
+        "last job must have a non-empty window"
+    );
+    let jobs = (0..n)
+        .map(|i| JobSpec::new(0, i as u64 * step, deadline))
+        .collect();
+    Instance::new(format!("staircase(n={n},step={step},d={deadline})"), jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::is_gamma_slack_feasible;
+
+    #[test]
+    fn rolling_harmonic_is_feasible() {
+        let inst = rolling_harmonic(16, 4, 16 * 4, 5);
+        assert_eq!(inst.n(), 80);
+        assert!(is_gamma_slack_feasible(&inst.jobs, 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn rolling_harmonic_rejects_overlapping_bursts() {
+        let _ = rolling_harmonic(16, 4, 10, 2);
+    }
+
+    #[test]
+    fn laminar_nesting_structure() {
+        let inst = laminar(4, 8, 2);
+        assert_eq!(inst.n(), 8);
+        let h = inst.window_histogram();
+        assert_eq!(h[&8], 2);
+        assert_eq!(h[&64], 2);
+        // Laminar with power-of-two smallest is aligned.
+        assert!(inst.is_aligned());
+        // Feasibility: 8 jobs, tightest window 8 holds 2 of them; with
+        // L = 2 the nested load is 2·2 in 8, then 4·2 in 16, ... fine:
+        assert!(is_gamma_slack_feasible(&inst.jobs, 0.5));
+    }
+
+    #[test]
+    fn staircase_windows_shrink() {
+        let inst = staircase(5, 10, 100);
+        assert_eq!(inst.jobs[0].window(), 100);
+        assert_eq!(inst.jobs[4].window(), 60);
+        assert!(is_gamma_slack_feasible(&inst.jobs, 1.0 / 8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn staircase_rejects_impossible_tail() {
+        let _ = staircase(11, 10, 100);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dcr-workloads — deadline-window instances and their feasibility
+//!
+//! The guarantees in *Contention Resolution with Message Deadlines* quantify
+//! over **γ-slack feasible** instances: job sets that could be scheduled by
+//! their deadlines even if every unit message were inflated to length `1/γ`
+//! (Section 1.1). This crate provides:
+//!
+//! * [`Instance`] — a named set of [`dcr_sim::job::JobSpec`]s;
+//! * [`feasibility`] — an exact γ-slack feasibility checker built on
+//!   preemptive earliest-deadline-first (optimal on one channel), plus a
+//!   measured-slack search;
+//! * [`generators`] — the instance families used by the paper's proofs and
+//!   by our experiments: aligned multi-class instances, single batches, the
+//!   harmonic starvation instance of Lemma 5, Poisson and bursty dynamic
+//!   arrivals, and arbitrary unaligned mixes;
+//! * [`adversarial`] — the recurring worst-case shapes from the
+//!   adversarial-queuing literature (rolling harmonic bursts, laminar
+//!   nests, staircases);
+//! * [`transforms`] — window transforms: `trimmed()` (Lemma 15) and
+//!   power-of-two rounding, with their guaranteed loss factors.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod feasibility;
+pub mod generators;
+pub mod instance;
+pub mod transforms;
+
+pub use feasibility::{edf_feasible, is_gamma_slack_feasible, measured_slack};
+pub use instance::Instance;

@@ -1,0 +1,121 @@
+//! Window transforms: trimming to aligned windows (Lemma 15) and
+//! power-of-two rounding.
+
+use crate::instance::Instance;
+use dcr_sim::job::JobSpec;
+
+/// The largest power-of-2-aligned window contained in `[release, deadline)`.
+///
+/// This is the paper's `trimmed(W)`: "a largest aligned window that is
+/// contained in `W`; if there is more than one largest window, choose
+/// arbitrarily" (we choose the earliest). The paper notes
+/// `|trimmed(W)| ≥ |W|/4`.
+pub fn trimmed_window(release: u64, deadline: u64) -> (u64, u64) {
+    assert!(deadline > release, "empty window");
+    let w = deadline - release;
+    // Try sizes 2^k from the largest possible downward; the first size with
+    // an aligned start inside the window wins.
+    let mut k = 63 - w.leading_zeros(); // floor(log2(w))
+    loop {
+        let size = 1u64 << k;
+        let start = release.div_ceil(size) * size;
+        if start + size <= deadline {
+            return (start, start + size);
+        }
+        assert!(k > 0, "size-1 window always fits (start divisible by 1)");
+        k -= 1;
+    }
+}
+
+/// Apply [`trimmed_window`] to one job.
+pub fn trimmed_job(job: &JobSpec) -> JobSpec {
+    let (r, d) = trimmed_window(job.release, job.deadline);
+    JobSpec::new(job.id, r, d)
+}
+
+/// Lemma 15's `trimmed(J)`: every job's window replaced by its trimmed
+/// window. If `J` is 4γ-slack feasible then `trimmed(J)` is γ-slack
+/// feasible.
+pub fn trimmed(instance: &Instance) -> Instance {
+    Instance::new(
+        format!("trimmed({})", instance.name),
+        instance.jobs.iter().map(trimmed_job).collect(),
+    )
+}
+
+/// Round a job's window size down to the nearest power of two by moving the
+/// deadline earlier (PUNCTUAL's first preliminary: "it rounds down its
+/// window size to the nearest power of 2", costing at most a factor 2 of
+/// slack).
+pub fn round_window_pow2(job: &JobSpec) -> JobSpec {
+    let w = job.window();
+    let rounded = if w.is_power_of_two() {
+        w
+    } else {
+        1u64 << (63 - w.leading_zeros())
+    };
+    JobSpec::new(job.id, job.release, job.release + rounded)
+}
+
+/// Apply [`round_window_pow2`] to a whole instance.
+pub fn rounded_pow2(instance: &Instance) -> Instance {
+    Instance::new(
+        format!("pow2({})", instance.name),
+        instance.jobs.iter().map(round_window_pow2).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_is_aligned_and_large_enough() {
+        for (r, d) in [
+            (0u64, 1u64),
+            (0, 7),
+            (3, 11),
+            (5, 6),
+            (17, 100),
+            (1000, 1003),
+            (999, 2001),
+            (1, 1 << 20),
+        ] {
+            let (tr, td) = trimmed_window(r, d);
+            let w = d - r;
+            let tw = td - tr;
+            assert!(tr >= r && td <= d, "trim [{tr},{td}) escapes [{r},{d})");
+            assert!(tw.is_power_of_two());
+            assert_eq!(tr % tw, 0, "start {tr} not aligned to {tw}");
+            assert!(tw * 4 >= w, "trimmed {tw} < w/4 = {}/4", w);
+        }
+    }
+
+    #[test]
+    fn trimmed_of_aligned_window_is_identity() {
+        let (r, d) = trimmed_window(16, 32);
+        assert_eq!((r, d), (16, 32));
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        let j = JobSpec::new(0, 10, 23); // w = 13 -> 8
+        let r = round_window_pow2(&j);
+        assert_eq!(r.window(), 8);
+        assert_eq!(r.release, 10);
+        // Power of two already: unchanged.
+        let j = JobSpec::new(0, 10, 26); // w = 16
+        assert_eq!(round_window_pow2(&j).window(), 16);
+    }
+
+    #[test]
+    fn instance_transforms_preserve_job_count() {
+        let inst = Instance::new(
+            "x",
+            vec![JobSpec::new(0, 3, 11), JobSpec::new(1, 0, 100)],
+        );
+        assert_eq!(trimmed(&inst).n(), 2);
+        assert!(trimmed(&inst).is_aligned());
+        assert_eq!(rounded_pow2(&inst).n(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Jamming resilience (Section 3, "Jamming"): ALIGNED keeps delivering
+//! while a content-aware adversary jams up to half of all would-be
+//! successes — and degrades gracefully beyond the analyzed regime.
+//!
+//! ```sh
+//! cargo run --release --example jamming_resilience
+//! ```
+
+use contention_deadlines::protocols::{AlignedParams, AlignedProtocol};
+use contention_deadlines::sim::prelude::*;
+use contention_deadlines::workloads::generators::batch;
+
+fn delivery_rate(p_jam: f64, policy: JamPolicy, trials: u64) -> f64 {
+    let params = AlignedParams::new(2, 2, 11); // λ=2 buys the jamming margin
+    let instance = batch(8, 1 << 11);
+    let mut delivered = 0usize;
+    for seed in 0..trials {
+        let mut engine = Engine::new(EngineConfig::aligned(), seed);
+        engine.set_jammer(Jammer::new(policy, p_jam));
+        engine.add_jobs(&instance.jobs, AlignedProtocol::factory(params));
+        delivered += engine.run().successes();
+    }
+    delivered as f64 / (trials as f64 * instance.n() as f64)
+}
+
+fn main() {
+    let trials = 60;
+    println!("ALIGNED, 8 jobs in a 2048-slot window, λ=2 — delivery vs jamming:\n");
+    println!("p_jam  all-successes  control-only  data-only");
+    for p_jam in [0.0, 0.25, 0.5, 0.75] {
+        let all = delivery_rate(p_jam, JamPolicy::AllSuccesses, trials);
+        let ctrl = delivery_rate(p_jam, JamPolicy::ControlOnly, trials);
+        let data = delivery_rate(p_jam, JamPolicy::DataOnly, trials);
+        println!("{p_jam:<5.2}  {all:<13.3}  {ctrl:<12.3}  {data:.3}");
+    }
+    println!(
+        "\nThe paper analyzes p_jam <= 0.5: estimation phases and broadcast \
+         subphases both repeat enough to absorb a coin-flip adversary, even one \
+         that reads message contents and targets only estimation pings."
+    );
+}

@@ -1,0 +1,56 @@
+//! Starvation demo (Lemma 5): on the harmonic instance, the natural
+//! UNIFORM algorithm systematically sacrifices the most urgent messages,
+//! while the deadline-aware PUNCTUAL protocol protects them.
+//!
+//! ```sh
+//! cargo run --release --example starvation_demo
+//! ```
+
+use contention_deadlines::protocols::Uniform;
+use contention_deadlines::sim::prelude::*;
+use contention_deadlines::workloads::generators::harmonic;
+
+fn main() {
+    // All n jobs arrive at slot 0; job j has window 2j — the γ = 1/2
+    // instance from Lemma 5. The urgent (small-j) jobs see contention
+    // ≈ ln(n)/2 in every slot of their short windows.
+    let n = 512;
+    let instance = harmonic(n, 2);
+    let trials = 200u64;
+
+    let mut urgent_ok = [0u32; 10]; // per-decile success counts
+    for seed in 0..trials {
+        let mut engine = Engine::new(EngineConfig::default(), seed);
+        engine.add_jobs(&instance.jobs, |_| Box::new(Uniform::single()));
+        let report = engine.run();
+        for (d, count) in urgent_ok.iter_mut().enumerate() {
+            let lo = d * n / 10;
+            let hi = (d + 1) * n / 10;
+            let ok = (lo..hi)
+                .filter(|&i| report.outcome(i as u32).is_success())
+                .count();
+            if ok * 2 >= hi - lo {
+                *count += 1;
+            }
+        }
+    }
+
+    println!("UNIFORM on the harmonic instance (n = {n}, {trials} trials):");
+    println!("fraction of trials in which each urgency decile got >= 50% delivery:\n");
+    for (d, &count) in urgent_ok.iter().enumerate() {
+        let frac = f64::from(count) / trials as f64;
+        let bar: String = std::iter::repeat_n('#', (frac * 40.0) as usize).collect();
+        println!(
+            "decile {d} ({}most urgent) {frac:>5.2} |{bar}",
+            if d == 0 { "" } else { "less " }
+        );
+    }
+    println!(
+        "\nThe most urgent decile starves while the patient deciles cruise — \
+         Lemma 5's 'ironically, the high-priority messages are most at risk'."
+    );
+    println!(
+        "Run `cargo run --release -p dcr-bench --bin experiments -- e3` for the \
+         full sweep with confidence intervals and the fitted decay exponent."
+    );
+}

@@ -1,0 +1,74 @@
+//! Trace explorer: step inside one PUNCTUAL execution with the ASCII Gantt
+//! renderer — watch synchronization, the round train, leader beacons, and
+//! the embedded ALIGNED protocol working on a real channel.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer [seed]
+//! ```
+
+use contention_deadlines::protocols::{PunctualParams, PunctualProtocol};
+use contention_deadlines::sim::gantt::{render_gantt, GanttOptions};
+use contention_deadlines::sim::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2026);
+
+    // Four jobs with staggered, unaligned arrivals sharing a 2^13 window.
+    let jobs: Vec<JobSpec> = (0..4)
+        .map(|i| {
+            let r = u64::from(i) * 23;
+            JobSpec::new(i, r, r + (1 << 13))
+        })
+        .collect();
+
+    let mut engine = Engine::new(EngineConfig::default().with_trace(), seed);
+    engine.add_jobs(&jobs, PunctualProtocol::factory(PunctualParams::laptop()));
+    let report = engine.run();
+
+    println!(
+        "PUNCTUAL, 4 staggered jobs, w = 8192, seed {seed}: {}/{} delivered\n",
+        report.successes(),
+        report.jobs.len()
+    );
+
+    // Phase 1: synchronization. The first ~40 slots show the listen
+    // period and the first start pairs of the round train.
+    println!("--- slots 0..120: synchronization and the first rounds ---");
+    println!("    (x = collision — the start pairs; S = success — beacons/claims)");
+    match render_gantt(&report, GanttOptions { from: 0, to: 120, max_jobs: 4 }) {
+        Ok(g) => println!("{g}"),
+        Err(e) => println!("({e})"),
+    }
+
+    // Phase 2: around the first data delivery.
+    if let Some(first) = report
+        .per_job()
+        .filter_map(|(_, o)| o.slot())
+        .min()
+    {
+        let from = first.saturating_sub(40);
+        println!("--- slots {from}..{}: around the first delivery (D) ---", from + 120);
+        match render_gantt(
+            &report,
+            GanttOptions { from, to: from + 120, max_jobs: 4 },
+        ) {
+            Ok(g) => println!("{g}"),
+            Err(e) => println!("({e})"),
+        }
+    }
+
+    // Channel totals.
+    println!(
+        "channel totals: {} successes / {} collisions / {} silent over {} slots",
+        report.counts.success, report.counts.collision, report.counts.silent, report.slots_run
+    );
+    println!(
+        "per-job radio cost: mean {:.1} transmissions, {:.0} radio-on slots",
+        report.mean_transmissions(),
+        report.mean_accesses()
+    );
+    println!("\nTry different seeds to watch leader elections land in different rounds.");
+}

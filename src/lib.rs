@@ -1,0 +1,26 @@
+//! # contention-deadlines
+//!
+//! Facade crate for the reproduction of *Contention Resolution with Message
+//! Deadlines* (Agrawal, Bender, Fineman, Gilbert, Young — SPAA 2020).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`sim`] — the slotted multiple-access channel substrate;
+//! * [`protocols`] — the paper's UNIFORM / ALIGNED / PUNCTUAL protocols;
+//! * [`baselines`] — exponential backoff, sawtooth, ALOHA comparators;
+//! * [`workloads`] — instance generators and γ-slack feasibility checking;
+//! * [`stats`] — Monte-Carlo statistics helpers.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` at the repository root for the full reproduction map.
+
+pub use dcr_baselines as baselines;
+pub use dcr_core as protocols;
+pub use dcr_sim as sim;
+pub use dcr_stats as stats;
+pub use dcr_workloads as workloads;
+
+/// The paper's citation string, for reports.
+pub const PAPER: &str = "Agrawal, Bender, Fineman, Gilbert, Young. \
+Contention Resolution with Message Deadlines. SPAA 2020. \
+doi:10.1145/3350755.3400239";

@@ -1,0 +1,114 @@
+//! Serde round-trips for the public data types — traces, reports, and
+//! parameter sets are meant to be archived as JSON next to experiment
+//! output, so serialization must be lossless.
+
+use contention_deadlines::protocols::{AlignedParams, PunctualParams};
+use contention_deadlines::sim::prelude::*;
+use contention_deadlines::workloads::generators::{batch, harmonic};
+use contention_deadlines::workloads::Instance;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn job_spec_roundtrips() {
+    let j = JobSpec::new(7, 100, 612);
+    assert_eq!(roundtrip(&j), j);
+}
+
+#[test]
+fn instance_roundtrips() {
+    let inst = harmonic(12, 4);
+    let back: Instance = roundtrip(&inst);
+    assert_eq!(back.jobs, inst.jobs);
+    assert_eq!(back.name, inst.name);
+}
+
+#[test]
+fn params_roundtrip() {
+    let a = AlignedParams::new(2, 8, 9);
+    assert_eq!(roundtrip(&a), a);
+    let p = PunctualParams::laptop();
+    assert_eq!(roundtrip(&p), p);
+    let paper = PunctualParams::paper();
+    assert_eq!(roundtrip(&paper), paper);
+}
+
+#[test]
+fn sim_report_roundtrips_with_trace() {
+    use contention_deadlines::protocols::Uniform;
+    let inst = batch(4, 64);
+    let mut e = Engine::new(EngineConfig::default().with_trace(), 9);
+    e.add_jobs(&inst.jobs, |_| Box::new(Uniform::single()));
+    let report = e.run();
+
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: contention_deadlines::sim::metrics::SimReport =
+        serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.outcomes(), report.outcomes());
+    assert_eq!(back.counts, report.counts);
+    assert_eq!(back.accesses, report.accesses);
+    assert_eq!(back.slots_run, report.slots_run);
+    assert_eq!(
+        back.trace.as_ref().map(|t| t.len()),
+        report.trace.as_ref().map(|t| t.len())
+    );
+}
+
+#[test]
+fn payload_and_feedback_roundtrip() {
+    let payloads = [
+        Payload::Data(3),
+        Payload::Control(ControlMsg {
+            kind: 21,
+            a: 1,
+            b: 2,
+            c: 3,
+        }),
+    ];
+    for p in payloads {
+        assert_eq!(roundtrip(&p), p);
+    }
+    let feedbacks = [
+        Feedback::Silent,
+        Feedback::Noise,
+        Feedback::Success {
+            src: 5,
+            payload: Payload::Data(5),
+        },
+    ];
+    for f in feedbacks {
+        assert_eq!(roundtrip(&f), f);
+    }
+}
+
+#[test]
+fn jam_policy_roundtrips() {
+    for policy in [
+        JamPolicy::Never,
+        JamPolicy::AllSuccesses,
+        JamPolicy::ControlOnly,
+        JamPolicy::DataOnly,
+        JamPolicy::Random { attempt: 0.25 },
+    ] {
+        assert_eq!(roundtrip(&policy), policy);
+    }
+}
+
+#[test]
+fn windowed_schedule_roundtrips() {
+    use contention_deadlines::baselines::Schedule;
+    for s in [
+        Schedule::beb(),
+        Schedule::Linear { first: 2, step: 3 },
+        Schedule::Quadratic { first: 1 },
+        Schedule::Fixed { size: 9 },
+    ] {
+        assert_eq!(roundtrip(&s), s);
+    }
+}
