@@ -81,7 +81,10 @@ mod tests {
     fn lone_job_eventually_succeeds() {
         let (hits, total) = count_trials(50, 3, |_, seed| {
             let mut e = Engine::new(EngineConfig::default(), seed);
-            e.add_job(JobSpec::new(0, 0, 256), Box::new(FixedProbability::new(0.1)));
+            e.add_job(
+                JobSpec::new(0, 0, 256),
+                Box::new(FixedProbability::new(0.1)),
+            );
             e.run().outcome(0).is_success()
         });
         assert_eq!(hits, total);

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn lone_job_succeeds_in_first_slot() {
         let mut e = Engine::new(EngineConfig::default(), 1);
-        e.add_job(JobSpec::new(0, 0, 8), Box::new(BinaryExponentialBackoff::new()));
+        e.add_job(
+            JobSpec::new(0, 0, 8),
+            Box::new(BinaryExponentialBackoff::new()),
+        );
         let r = e.run();
         assert_eq!(r.outcome(0).slot(), Some(0));
     }
@@ -139,8 +142,14 @@ mod tests {
         // quickly in a roomy window.
         let (hits, total) = count_trials(100, 5, |_, seed| {
             let mut e = Engine::new(EngineConfig::default(), seed);
-            e.add_job(JobSpec::new(0, 0, 64), Box::new(BinaryExponentialBackoff::new()));
-            e.add_job(JobSpec::new(1, 0, 64), Box::new(BinaryExponentialBackoff::new()));
+            e.add_job(
+                JobSpec::new(0, 0, 64),
+                Box::new(BinaryExponentialBackoff::new()),
+            );
+            e.add_job(
+                JobSpec::new(1, 0, 64),
+                Box::new(BinaryExponentialBackoff::new()),
+            );
             e.run().successes() == 2
         });
         assert!(hits as f64 / total as f64 > 0.95, "{hits}/{total}");

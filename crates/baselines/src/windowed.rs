@@ -63,9 +63,10 @@ impl Schedule {
                 }
                 s
             }
-            Schedule::Linear { first, step } => {
-                first.max(1).saturating_add(step.saturating_mul(u64::from(i))).min(CAP)
-            }
+            Schedule::Linear { first, step } => first
+                .max(1)
+                .saturating_add(step.saturating_mul(u64::from(i)))
+                .min(CAP),
             Schedule::Quadratic { first } => {
                 let k = u64::from(i) + 1;
                 first.max(1).saturating_mul(k.saturating_mul(k)).min(CAP)
@@ -194,7 +195,10 @@ mod tests {
     fn schedule_growth_saturates_instead_of_overflowing() {
         let g = Schedule::Geometric { base: 2, first: 1 };
         assert_eq!(g.size(63), 1 << 40);
-        let l = Schedule::Linear { first: u64::MAX - 1, step: 10 };
+        let l = Schedule::Linear {
+            first: u64::MAX - 1,
+            step: 10,
+        };
         assert_eq!(l.size(3), 1 << 40);
     }
 

@@ -37,7 +37,9 @@ fn bench_slot_throughput(c: &mut Criterion) {
 fn bench_trace_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/trace");
     group.throughput(Throughput::Elements(SLOTS));
-    group.bench_function("off", |b| b.iter(|| run(100, EngineConfig::default(), false)));
+    group.bench_function("off", |b| {
+        b.iter(|| run(100, EngineConfig::default(), false))
+    });
     group.bench_function("on", |b| {
         b.iter(|| run(100, EngineConfig::default().with_trace(), false))
     });
@@ -47,7 +49,9 @@ fn bench_trace_overhead(c: &mut Criterion) {
 fn bench_jammer_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/jammer");
     group.throughput(Throughput::Elements(SLOTS));
-    group.bench_function("off", |b| b.iter(|| run(100, EngineConfig::default(), false)));
+    group.bench_function("off", |b| {
+        b.iter(|| run(100, EngineConfig::default(), false))
+    });
     group.bench_function("on", |b| b.iter(|| run(100, EngineConfig::default(), true)));
     group.finish();
 }

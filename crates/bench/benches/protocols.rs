@@ -87,7 +87,10 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| {
             let mut e = Engine::new(EngineConfig::default(), 7);
             for i in 0..32 {
-                e.add_job(JobSpec::new(i, 0, w), Box::new(BinaryExponentialBackoff::new()));
+                e.add_job(
+                    JobSpec::new(i, 0, w),
+                    Box::new(BinaryExponentialBackoff::new()),
+                );
             }
             e.run().successes()
         });

@@ -13,18 +13,22 @@ fn bench_edf_feasibility(c: &mut Criterion) {
         let horizon = 1u64 << (n_exp + 4);
         let inst = aligned_classes(
             &[
-                ClassSpec { class: 8, jobs_per_window: 4 },
-                ClassSpec { class: 12, jobs_per_window: 32 },
+                ClassSpec {
+                    class: 8,
+                    jobs_per_window: 4,
+                },
+                ClassSpec {
+                    class: 12,
+                    jobs_per_window: 32,
+                },
             ],
             horizon,
             None,
         );
         group.throughput(Throughput::Elements(inst.n() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("jobs", inst.n()),
-            &inst,
-            |b, inst| b.iter(|| edf_feasible(&inst.jobs, 8)),
-        );
+        group.bench_with_input(BenchmarkId::new("jobs", inst.n()), &inst, |b, inst| {
+            b.iter(|| edf_feasible(&inst.jobs, 8))
+        });
     }
     group.finish();
 }
@@ -55,10 +59,22 @@ fn bench_generation(c: &mut Criterion) {
         b.iter(|| {
             aligned_classes(
                 &[
-                    ClassSpec { class: 8, jobs_per_window: 2 },
-                    ClassSpec { class: 10, jobs_per_window: 4 },
-                    ClassSpec { class: 12, jobs_per_window: 8 },
-                    ClassSpec { class: 14, jobs_per_window: 16 },
+                    ClassSpec {
+                        class: 8,
+                        jobs_per_window: 2,
+                    },
+                    ClassSpec {
+                        class: 10,
+                        jobs_per_window: 4,
+                    },
+                    ClassSpec {
+                        class: 12,
+                        jobs_per_window: 8,
+                    },
+                    ClassSpec {
+                        class: 14,
+                        jobs_per_window: 16,
+                    },
                 ],
                 1 << 16,
                 None,
@@ -75,5 +91,10 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_edf_feasibility, bench_thinning, bench_generation);
+criterion_group!(
+    benches,
+    bench_edf_feasibility,
+    bench_thinning,
+    bench_generation
+);
 criterion_main!(benches);

@@ -1,26 +1,82 @@
 //! CLI entry point: regenerate the paper's figures and claim tables.
 //!
 //! ```text
-//! experiments [IDS…] [--quick] [--seed N] [--trials N] [--out DIR] [--list]
+//! experiments [IDS…] [--quick] [--seed N] [--trials N] [--out DIR]
+//!             [--json DIR] [--list]
 //! ```
 //!
 //! With no ids, runs the full suite in order. Every run prints its seed;
 //! re-running with `--seed` reproduces output bit-for-bit. `--out DIR`
-//! additionally writes each experiment's report to `DIR/<id>.txt`.
+//! additionally writes each experiment's report to `DIR/<id>.txt`;
+//! `--json DIR` writes the structured artifact to `DIR/<id>.json` plus a
+//! suite-level `BENCH_summary.json` (see EXPERIMENTS.md for the schema).
 
-use dcr_bench::{run_experiment, ExpConfig, ALL_EXPERIMENTS};
+use dcr_bench::{run_experiment_report, ExpConfig, ALL_EXPERIMENTS};
+use dcr_stats::report::SCHEMA_VERSION;
+use dcr_stats::{ExperimentReport, Provenance};
+use serde::Serialize;
+
+/// One line of the suite-level summary: what ran and how it went.
+#[derive(Serialize)]
+struct SummaryEntry {
+    experiment: String,
+    title: String,
+    rows: usize,
+    checks_total: usize,
+    checks_passed: usize,
+    wall_secs: f64,
+    slots_simulated: u64,
+    slots_per_sec: f64,
+}
+
+/// `BENCH_summary.json`: one run of the suite, with provenance.
+#[derive(Serialize)]
+struct Summary {
+    schema_version: u32,
+    seed: u64,
+    quick: bool,
+    experiments: Vec<SummaryEntry>,
+    all_checks_passed: bool,
+    total_wall_secs: f64,
+    total_slots_simulated: u64,
+    slots_per_sec: f64,
+    provenance: Provenance,
+}
+
+/// Exit with a usage error instead of a panic backtrace.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}; try --help");
+    std::process::exit(2);
+}
+
+/// Exit cleanly on a filesystem failure, naming the path.
+fn io_check<T>(what: &str, path: &std::path::Path, res: std::io::Result<T>) -> T {
+    res.unwrap_or_else(|e| {
+        eprintln!("error: {what} {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::full();
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut json_dir: Option<std::path::PathBuf> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--out" => {
-                let v = iter.next().expect("--out needs a directory");
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out needs a directory"));
                 out_dir = Some(v.into());
+            }
+            "--json" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--json needs a directory"));
+                json_dir = Some(v.into());
             }
             "--quick" => {
                 cfg = ExpConfig {
@@ -30,12 +86,20 @@ fn main() {
                 };
             }
             "--seed" => {
-                let v = iter.next().expect("--seed needs a value");
-                cfg.seed = v.parse().expect("--seed must be an integer");
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--seed needs a value"));
+                cfg.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed must be an integer"));
             }
             "--trials" => {
-                let v = iter.next().expect("--trials needs a value");
-                cfg.trials = v.parse().expect("--trials must be an integer");
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trials needs a value"));
+                cfg.trials = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--trials must be an integer"));
             }
             "--list" => {
                 for id in ALL_EXPERIMENTS {
@@ -46,7 +110,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [IDS…] [--quick] [--seed N] [--trials N] \
-                     [--out DIR] [--list]\nids: {}",
+                     [--out DIR] [--json DIR] [--list]\nids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -61,29 +125,81 @@ fn main() {
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // Fail fast on unwritable output dirs rather than after the whole run.
+    for dir in [&out_dir, &json_dir].into_iter().flatten() {
+        io_check("cannot create directory", dir, std::fs::create_dir_all(dir));
+    }
 
     println!(
         "contention-deadlines experiment suite — seed {}, {} mode\n",
         cfg.seed,
         if cfg.quick { "quick" } else { "full" }
     );
+    let suite_started = std::time::Instant::now();
+    let mut reports: Vec<ExperimentReport> = Vec::new();
     for id in &ids {
         let started = std::time::Instant::now();
-        match run_experiment(id, &cfg) {
-            Some(report) => {
+        match run_experiment_report(id, &cfg) {
+            Some(out) => {
                 println!("==================== {id} ====================");
-                println!("{report}");
+                println!("{}", out.text);
                 println!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
                 if let Some(dir) = &out_dir {
-                    std::fs::create_dir_all(dir).expect("create --out directory");
-                    std::fs::write(dir.join(format!("{id}.txt")), &report)
-                        .expect("write experiment report");
+                    let path = dir.join(format!("{id}.txt"));
+                    io_check("cannot write", &path, std::fs::write(&path, &out.text));
                 }
+                if let Some(dir) = &json_dir {
+                    let json = serde_json::to_string_pretty(&out.report)
+                        .expect("serialize experiment report");
+                    let path = dir.join(format!("{id}.json"));
+                    io_check("cannot write", &path, std::fs::write(&path, json));
+                }
+                reports.push(out.report);
             }
             None => {
                 eprintln!("unknown experiment id {id}; try --list");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(dir) = &json_dir {
+        let total_slots: u64 = reports.iter().map(|r| r.timing.slots_simulated).sum();
+        let total_wall = suite_started.elapsed().as_secs_f64();
+        let summary = Summary {
+            schema_version: SCHEMA_VERSION,
+            seed: cfg.seed,
+            quick: cfg.quick,
+            experiments: reports
+                .iter()
+                .map(|r| SummaryEntry {
+                    experiment: r.experiment.clone(),
+                    title: r.title.clone(),
+                    rows: r.rows.len(),
+                    checks_total: r.checks.len(),
+                    checks_passed: r.checks.iter().filter(|c| c.passed).count(),
+                    wall_secs: r.timing.wall_secs,
+                    slots_simulated: r.timing.slots_simulated,
+                    slots_per_sec: r.timing.slots_per_sec,
+                })
+                .collect(),
+            all_checks_passed: reports.iter().all(|r| r.all_checks_passed()),
+            total_wall_secs: total_wall,
+            total_slots_simulated: total_slots,
+            slots_per_sec: if total_wall > 0.0 {
+                total_slots as f64 / total_wall
+            } else {
+                0.0
+            },
+            provenance: Provenance::capture(),
+        };
+        let json = serde_json::to_string_pretty(&summary).expect("serialize suite summary");
+        let path = dir.join("BENCH_summary.json");
+        io_check("cannot write", &path, std::fs::write(&path, json));
+        println!(
+            "wrote {} JSON artifacts + BENCH_summary.json to {}",
+            reports.len(),
+            dir.display()
+        );
     }
 }

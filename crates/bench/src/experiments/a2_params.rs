@@ -7,6 +7,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_single_class;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_sim::runner::run_trials;
 use dcr_stats::{Proportion, Table};
@@ -33,8 +34,7 @@ fn sweep(cfg: &ExpConfig, lambda: u64, tau: u64) -> Cell {
         ((N_JOBS - r.successes) as u64, r.slots_used)
     });
     let failures: u64 = results.iter().map(|t| t.value.0).sum();
-    let mean_slots =
-        results.iter().map(|t| t.value.1 as f64).sum::<f64>() / results.len() as f64;
+    let mean_slots = results.iter().map(|t| t.value.1 as f64).sum::<f64>() / results.len() as f64;
     Cell {
         failure: Proportion::new(failures, trials * N_JOBS as u64),
         mean_slots,
@@ -42,9 +42,17 @@ fn sweep(cfg: &ExpConfig, lambda: u64, tau: u64) -> Cell {
 }
 
 /// Run A2.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let lambdas: &[u64] = if cfg.quick { &[1, 2] } else { &[1, 2, 4] };
     let taus: &[u64] = if cfg.quick { &[2, 8] } else { &[2, 4, 8, 64] };
+    let mut rb = ReportBuilder::new("a2", "A2 (ablation): lambda/tau sensitivity", cfg);
+    rb.param("class", CLASS)
+        .param("n_jobs", N_JOBS)
+        .param("lambdas", format!("{lambdas:?}"))
+        .param("taus", format!("{taus:?}"))
+        .param("trials_per_cell", cfg.cell_trials(160));
+    let mut slots_monotone = true;
+    let mut prev_slots_for_lambda1: Option<f64> = None;
     let mut table = Table::new(vec![
         "λ",
         "τ",
@@ -60,6 +68,20 @@ pub fn run(cfg: &ExpConfig) -> String {
     for &lambda in lambdas {
         for &tau in taus {
             let c = sweep(cfg, lambda, tau);
+            if lambda == 1 {
+                if let Some(prev) = prev_slots_for_lambda1 {
+                    if c.mean_slots < prev {
+                        slots_monotone = false;
+                    }
+                }
+                prev_slots_for_lambda1 = Some(c.mean_slots);
+            }
+            let id = format!("lambda={lambda},tau={tau}");
+            rb.prop(&id, "per_job_failure", &c.failure)
+                .row(&id, "mean_slots_used", c.mean_slots)
+                .row(&id, "slots_per_window", c.mean_slots / w)
+                .add_trials(cfg.cell_trials(160))
+                .add_slots((c.mean_slots as u64).saturating_mul(cfg.cell_trials(160)));
             table.row(vec![
                 lambda.to_string(),
                 tau.to_string(),
@@ -74,7 +96,12 @@ pub fn run(cfg: &ExpConfig) -> String {
         "\nshape check: failure falls (and slot usage rises) with λ and τ; \
          the paper's τ=64 is far into the diminishing-returns regime\n",
     );
-    out
+    rb.check(
+        "slot_cost_rises_with_tau",
+        slots_monotone,
+        "mean slots used is non-decreasing in tau at lambda=1",
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::scheduled::scheduled_protocols;
 use dcr_baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
 use dcr_core::punctual::PunctualParams;
@@ -126,8 +127,13 @@ fn urgent_quartile(cfg: &ExpConfig, instance: &Instance, proto: &str) -> f64 {
 }
 
 /// Run E10.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let instance = make_instance(cfg);
+    let mut rb = ReportBuilder::new("e10", "E10: end-to-end protocol shootout", cfg);
+    rb.param("n_jobs", instance.n())
+        .param("small_window", SMALL_W)
+        .param("large_window", LARGE_W)
+        .param("trials_per_cell", cfg.cell_trials(24));
     let mut table = Table::new(vec![
         "protocol",
         "overall delivered",
@@ -150,6 +156,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         "uniform",
     ] {
         let row = measure(cfg, &instance, proto);
+        rb.row(proto, "overall_delivered", row.overall)
+            .row(proto, "small_window_delivered", row.small)
+            .row(proto, "large_window_delivered", row.large)
+            .add_trials(cfg.cell_trials(24));
         table.row(vec![
             proto.to_string(),
             format!("{:.3}", row.overall),
@@ -172,8 +182,21 @@ pub fn run(cfg: &ExpConfig) -> String {
          quartile, seed {}",
         cfg.seed
     ));
-    for proto in ["edf-genie", "punctual", "sawtooth", "beb", "aloha(3/w)", "uniform"] {
+    let mut punctual_urgent = 0.0;
+    for proto in [
+        "edf-genie",
+        "punctual",
+        "sawtooth",
+        "beb",
+        "aloha(3/w)",
+        "uniform",
+    ] {
         let u = urgent_quartile(cfg, &fair, proto);
+        if proto == "punctual" {
+            punctual_urgent = u;
+        }
+        rb.row(format!("fairness,{proto}"), "urgent_quartile", u)
+            .add_trials(cfg.cell_trials(24));
         t2.row(vec![proto.to_string(), format!("{u:.3}")]);
     }
     out.push_str(&t2.render());
@@ -186,7 +209,22 @@ pub fn run(cfg: &ExpConfig) -> String {
          The paper's separation is asymptotic; at laptop constants the measurable \
          wins are E3's fairness gradient and the E12 clock ablation.\n",
     );
-    out
+    let genie = rows
+        .iter()
+        .find(|(p, _)| *p == "edf-genie")
+        .map(|(_, r)| r.overall)
+        .unwrap_or(0.0);
+    rb.check(
+        "genie_delivers_everything",
+        (genie - 1.0).abs() < 1e-9,
+        format!("edf-genie overall {genie:.3}"),
+    )
+    .check(
+        "punctual_holds_urgent_quartile",
+        punctual_urgent > 0.8,
+        format!("punctual urgent quartile {punctual_urgent:.3}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::{run_instance, run_single_class};
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_core::aligned::protocol::AlignedProtocol;
 use dcr_sim::engine::EngineConfig;
@@ -28,11 +29,9 @@ fn params() -> AlignedParams {
 
 fn sweep_pjam(cfg: &ExpConfig, p_jam: f64) -> Proportion {
     let trials = cfg.cell_trials(160);
-    let results = run_trials(
-        trials,
-        cfg.seed ^ ((p_jam * 1000.0) as u64),
-        |_, seed| run_single_class(params(), CLASS, N_JOBS, p_jam, seed).successes as u64,
-    );
+    let results = run_trials(trials, cfg.seed ^ ((p_jam * 1000.0) as u64), |_, seed| {
+        run_single_class(params(), CLASS, N_JOBS, p_jam, seed).successes as u64
+    });
     let successes: u64 = results.iter().map(|t| t.value).sum();
     Proportion::new(successes, trials * N_JOBS as u64)
 }
@@ -55,12 +54,16 @@ fn sweep_policy(cfg: &ExpConfig, policy: JamPolicy, p_jam: f64) -> Proportion {
 }
 
 /// Run E11.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let pjams: &[f64] = if cfg.quick {
         &[0.0, 0.5, 0.75]
     } else {
         &[0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9]
     };
+    let mut rb = ReportBuilder::new("e11", "E11: ALIGNED under stochastic jamming", cfg);
+    rb.param("class", CLASS)
+        .param("n_jobs", N_JOBS)
+        .param("p_jam_grid", format!("{pjams:?}"));
     let mut t1 = Table::new(vec!["p_jam", "per-job delivery rate"]).with_title(format!(
         "E11a: ALIGNED (λ=2) under all-successes jamming, batch of {N_JOBS} in w=2^{CLASS}, \
          seed {}",
@@ -75,6 +78,9 @@ pub fn run(cfg: &ExpConfig) -> String {
         } else {
             beyond.push(prop.estimate());
         }
+        rb.prop(format!("p_jam={p}"), "per_job_delivery", &prop)
+            .add_trials(cfg.cell_trials(160))
+            .add_slots(cfg.cell_trials(160) << CLASS);
         t1.row(vec![format!("{p:.2}"), prop.to_string()]);
     }
     let mut out = t1.render();
@@ -91,15 +97,24 @@ pub fn run(cfg: &ExpConfig) -> String {
         ("data only", JamPolicy::DataOnly),
     ] {
         let prop = sweep_policy(cfg, policy, 0.5);
+        rb.prop(format!("policy={name}"), "per_job_delivery", &prop)
+            .add_trials(cfg.cell_trials(120))
+            .add_slots(cfg.cell_trials(120) << CLASS);
         t2.row(vec![name.to_string(), prop.to_string()]);
     }
     out.push_str(&t2.render());
+    let worst_inside = inside.iter().copied().fold(1.0f64, f64::min);
     out.push_str(&format!(
-        "\nshape check: delivery stays high for p_jam ≤ 0.5 (min {:.3}) and degrades \
-         beyond the analyzed regime\n",
-        inside.iter().copied().fold(1.0f64, f64::min)
+        "\nshape check: delivery stays high for p_jam ≤ 0.5 (min {worst_inside:.3}) and degrades \
+         beyond the analyzed regime\n"
     ));
-    out
+    rb.row("overall", "worst_delivery_inside_regime", worst_inside)
+        .check(
+            "jamming_tolerated_inside_regime",
+            worst_inside > 0.8,
+            format!("worst delivery at p_jam <= 0.5: {worst_inside:.3}"),
+        );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::clocked::{ClockedParams, ClockedProtocol};
 use dcr_core::punctual::PunctualParams;
 use dcr_core::PunctualProtocol;
@@ -53,7 +54,11 @@ fn measure(cfg: &ExpConfig, instance: &Instance, clocked: bool) -> Row {
                 PunctualProtocol::factory(PunctualParams::laptop()),
             )
         };
-        (r.success_fraction(), r.mean_transmissions(), r.mean_accesses())
+        (
+            r.success_fraction(),
+            r.mean_transmissions(),
+            r.mean_accesses(),
+        )
     });
     let n = results.len() as f64;
     Row {
@@ -64,12 +69,16 @@ fn measure(cfg: &ExpConfig, instance: &Instance, clocked: bool) -> Row {
 }
 
 /// Run E12.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let windows: &[u64] = if cfg.quick {
         &[1 << 13]
     } else {
         &[1 << 12, 1 << 13, 1 << 14]
     };
+    let mut rb = ReportBuilder::new("e12", "E12: the price of clocklessness", cfg);
+    rb.param("windows", format!("{windows:?}"))
+        .param("trials_per_cell", cfg.cell_trials(24));
+    let mut worst_gap = f64::NEG_INFINITY;
     let mut table = Table::new(vec![
         "window",
         "clock",
@@ -83,8 +92,18 @@ pub fn run(cfg: &ExpConfig) -> String {
     ));
     for &w in windows {
         let instance = make_instance(cfg, w);
-        for (label, clocked) in [("global (CLOCKED)", true), ("none (PUNCTUAL)", false)] {
+        let mut delivered = [0.0f64; 2];
+        for (i, (label, clocked)) in [("global (CLOCKED)", true), ("none (PUNCTUAL)", false)]
+            .into_iter()
+            .enumerate()
+        {
             let row = measure(cfg, &instance, clocked);
+            delivered[i] = row.delivered;
+            let id = format!("w={w},{}", if clocked { "clocked" } else { "punctual" });
+            rb.row(&id, "delivered_fraction", row.delivered)
+                .row(&id, "mean_tx_per_job", row.mean_tx)
+                .row(&id, "mean_radio_on_per_job", row.mean_access)
+                .add_trials(cfg.cell_trials(24));
             table.row(vec![
                 format!("{w} (n={})", instance.n()),
                 label.into(),
@@ -93,6 +112,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 format!("{:.0}", row.mean_access),
             ]);
         }
+        worst_gap = worst_gap.max(delivered[1] - delivered[0]);
     }
     let mut out = table.render();
     out.push_str(
@@ -100,7 +120,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          information); PUNCTUAL pays extra transmissions for start messages, \
          beacons, and claims — the measured cost of bootstrapping time\n",
     );
-    out
+    rb.check(
+        "clocked_at_least_punctual",
+        worst_gap <= 0.05,
+        format!("max punctual-minus-clocked delivery gap {worst_gap:.3}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

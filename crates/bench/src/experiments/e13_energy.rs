@@ -9,6 +9,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_core::aligned::protocol::AlignedProtocol;
@@ -74,7 +75,11 @@ fn measure(cfg: &ExpConfig, proto: &str) -> Row {
             }),
             _ => unreachable!(),
         };
-        (r.success_fraction(), r.mean_transmissions(), r.mean_accesses())
+        (
+            r.success_fraction(),
+            r.mean_transmissions(),
+            r.mean_accesses(),
+        )
     });
     let n = results.len() as f64;
     Row {
@@ -85,7 +90,11 @@ fn measure(cfg: &ExpConfig, proto: &str) -> Row {
 }
 
 /// Run E13.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rb = ReportBuilder::new("e13", "E13: channel-access (energy) cost", cfg);
+    rb.param("n_jobs", N_JOBS)
+        .param("window", WINDOW)
+        .param("trials_per_cell", cfg.cell_trials(40));
     let mut table = Table::new(vec![
         "protocol",
         "delivered",
@@ -96,8 +105,24 @@ pub fn run(cfg: &ExpConfig) -> String {
         "E13: energy — batch of {N_JOBS} jobs, window {WINDOW}, seed {}",
         cfg.seed
     ));
-    for proto in ["aligned", "punctual", "sawtooth", "beb", "aloha(3/w)", "uniform"] {
+    let mut uniform_tx = f64::NAN;
+    for proto in [
+        "aligned",
+        "punctual",
+        "sawtooth",
+        "beb",
+        "aloha(3/w)",
+        "uniform",
+    ] {
         let row = measure(cfg, proto);
+        if proto == "uniform" {
+            uniform_tx = row.tx_per_job;
+        }
+        rb.row(proto, "delivered_fraction", row.delivered)
+            .row(proto, "tx_per_job", row.tx_per_job)
+            .row(proto, "radio_on_per_job", row.radio_on)
+            .add_trials(cfg.cell_trials(40))
+            .add_slots(cfg.cell_trials(40) * WINDOW);
         table.row(vec![
             proto.to_string(),
             format!("{:.3}", row.delivered),
@@ -112,7 +137,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          and always-on listening for their per-job guarantee; UNIFORM is the \
          energy floor (1 tx, ~0 listen) and the fairness disaster of E3\n",
     );
-    out
+    rb.check(
+        "uniform_is_energy_floor",
+        uniform_tx <= 1.0 + 1e-9,
+        format!("uniform tx/job {uniform_tx:.3}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! factor as `β` slightly above 1 and a larger constant).
 
 use crate::config::ExpConfig;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::windowed::{Schedule, WindowedBackoff};
 use dcr_baselines::Sawtooth;
 use dcr_sim::engine::{Engine, EngineConfig, Protocol};
@@ -50,23 +51,30 @@ fn sweep(cfg: &ExpConfig, n: u32, proto: &str) -> Summary {
 }
 
 /// Run E14.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let ns: &[u32] = if cfg.quick {
         &[16, 64, 256]
     } else {
         &[16, 32, 64, 128, 256, 512, 1024]
     };
     let protos = ["sawtooth", "geometric (BEB)", "linear", "quadratic"];
+    let mut rb = ReportBuilder::new("e14", "E14: batch makespan of the backoff family", cfg);
+    rb.param("ns", format!("{ns:?}"))
+        .param("trials_per_cell", cfg.cell_trials(40));
     let mut out = String::new();
     let mut fits = Vec::new();
     for proto in protos {
-        let mut table = Table::new(vec!["n", "mean makespan", "sd", "makespan / n"]).with_title(
-            format!("E14: batch makespan, {proto}, seed {}", cfg.seed),
-        );
+        let mut table = Table::new(vec!["n", "mean makespan", "sd", "makespan / n"])
+            .with_title(format!("E14: batch makespan, {proto}, seed {}", cfg.seed));
         let mut points = Vec::new();
         for &n in ns {
             let s = sweep(cfg, n, proto);
             points.push((f64::from(n), s.mean()));
+            let id = format!("{proto},n={n}");
+            rb.row(&id, "mean_makespan", s.mean())
+                .row(&id, "makespan_per_job", s.mean() / f64::from(n))
+                .add_trials(cfg.cell_trials(40))
+                .add_slots((s.mean() as u64).saturating_mul(cfg.cell_trials(40)));
             table.row(vec![
                 n.to_string(),
                 format!("{:.0}", s.mean()),
@@ -80,6 +88,7 @@ pub fn run(cfg: &ExpConfig) -> String {
                 "makespan ∝ n^{:.2} (R²={:.2})\n\n",
                 fit.slope, fit.r2
             ));
+            rb.row(proto, "loglog_slope", fit.slope);
             fits.push((proto, fit.slope));
         }
     }
@@ -88,8 +97,29 @@ pub fn run(cfg: &ExpConfig) -> String {
          schedules grow super-linearly — the separation that motivates the paper's \
          non-monotone machinery\n",
     );
-    let _ = fits;
-    out
+    let sawtooth_slope = fits.iter().find(|(p, _)| *p == "sawtooth").map(|(_, s)| *s);
+    if let Some(s) = sawtooth_slope {
+        rb.check(
+            "sawtooth_linear",
+            s < 1.25,
+            format!("sawtooth makespan exponent {s:.2}"),
+        );
+    }
+    for (proto, s) in &fits {
+        if *proto != "sawtooth" {
+            if let Some(st) = sawtooth_slope {
+                rb.check(
+                    &format!(
+                        "{}_slower_than_sawtooth",
+                        proto.replace([' ', '(', ')'], "")
+                    ),
+                    *s >= st - 0.05,
+                    format!("{proto} exponent {s:.2} vs sawtooth {st:.2}"),
+                );
+            }
+        }
+    }
+    rb.finish(out)
 }
 
 #[cfg(test)]

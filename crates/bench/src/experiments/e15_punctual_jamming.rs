@@ -11,6 +11,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::clocked::{ClockedParams, ClockedProtocol};
 use dcr_core::punctual::PunctualParams;
 use dcr_core::PunctualProtocol;
@@ -55,8 +56,18 @@ fn delivery(cfg: &ExpConfig, policy: JamPolicy, p_jam: f64, clocked: bool) -> f6
 }
 
 /// Run E15.
-pub fn run(cfg: &ExpConfig) -> String {
-    let pjams: &[f64] = if cfg.quick { &[0.0, 0.9] } else { &[0.0, 0.5, 0.9] };
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let pjams: &[f64] = if cfg.quick {
+        &[0.0, 0.9]
+    } else {
+        &[0.0, 0.5, 0.9]
+    };
+    let mut rb = ReportBuilder::new("e15", "E15: PUNCTUAL under jamming (beyond the paper)", cfg);
+    rb.param("n_jobs", N_JOBS)
+        .param("window", WINDOW)
+        .param("p_jam_grid", format!("{pjams:?}"))
+        .param("trials_per_cell", cfg.cell_trials(60));
+    let mut clean_punctual = f64::NAN;
     let mut table = Table::new(vec![
         "adversary",
         "p_jam",
@@ -79,6 +90,14 @@ pub fn run(cfg: &ExpConfig) -> String {
             }
             let p = delivery(cfg, policy, p_jam, false);
             let c = delivery(cfg, policy, p_jam, true);
+            if p_jam == 0.0 {
+                clean_punctual = p;
+            }
+            let id = format!("{name},p_jam={p_jam}");
+            rb.row(&id, "punctual_delivered", p)
+                .row(&id, "clocked_delivered", c)
+                .add_trials(2 * cfg.cell_trials(60))
+                .add_slots(2 * cfg.cell_trials(60) * WINDOW);
             table.row(vec![
                 name.into(),
                 format!("{p_jam:.2}"),
@@ -97,7 +116,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          which point every protocol's channel is gone. A pleasant negative-negative \
          result.\n",
     );
-    out
+    rb.check(
+        "clean_channel_baseline",
+        clean_punctual > 0.9,
+        format!("clean-channel punctual delivery {clean_punctual:.3}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::scheduled::scheduled_protocols;
 use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
 use dcr_core::uniform::Uniform;
@@ -68,8 +69,7 @@ fn rolling_cell(cfg: &ExpConfig, proto: &str) -> (f64, f64, f64) {
             // index b*n.
             r.outcome((b * n) as u32).is_success() as u32 as f64
         };
-        let mean_urgent =
-            (0..bursts).map(urgent_of_burst).sum::<f64>() / bursts as f64;
+        let mean_urgent = (0..bursts).map(urgent_of_burst).sum::<f64>() / bursts as f64;
         (mean_urgent, urgent_of_burst(0), urgent_of_burst(bursts - 1))
     });
     let k = results.len() as f64;
@@ -96,7 +96,11 @@ fn staircase_cell(cfg: &ExpConfig, proto: &str) -> (f64, f64, f64) {
                 .count() as f64
                 / (hi - lo) as f64
         };
-        (third(0, n / 3), third(n / 3, 2 * n / 3), third(2 * n / 3, n))
+        (
+            third(0, n / 3),
+            third(n / 3, 2 * n / 3),
+            third(2 * n / 3, n),
+        )
     });
     let k = results.len() as f64;
     (
@@ -107,8 +111,12 @@ fn staircase_cell(cfg: &ExpConfig, proto: &str) -> (f64, f64, f64) {
 }
 
 /// Run E16.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let protos = ["edf-genie", "uniform", "beb", "sawtooth"];
+    let mut rb = ReportBuilder::new("e16", "E16: adversarial workload shapes", cfg);
+    rb.param("protocols", format!("{protos:?}"))
+        .param("trials_per_cell", cfg.cell_trials(60));
+    let mut genie_ok = true;
 
     let mut t1 = Table::new(vec![
         "protocol",
@@ -122,6 +130,14 @@ pub fn run(cfg: &ExpConfig) -> String {
     ));
     for proto in protos {
         let (mean, first, last) = rolling_cell(cfg, proto);
+        if proto == "edf-genie" && (mean - 1.0).abs() > 1e-9 {
+            genie_ok = false;
+        }
+        let id = format!("rolling,{proto}");
+        rb.row(&id, "urgent_mean_over_bursts", mean)
+            .row(&id, "urgent_first_burst", first)
+            .row(&id, "urgent_last_burst", last)
+            .add_trials(cfg.cell_trials(60));
         t1.row(vec![
             proto.into(),
             format!("{mean:.3}"),
@@ -142,6 +158,14 @@ pub fn run(cfg: &ExpConfig) -> String {
     ));
     for proto in protos {
         let (a, b, c) = staircase_cell(cfg, proto);
+        if proto == "edf-genie" && ((a - 1.0).abs() > 1e-9 || (c - 1.0).abs() > 1e-9) {
+            genie_ok = false;
+        }
+        let id = format!("staircase,{proto}");
+        rb.row(&id, "early_third", a)
+            .row(&id, "middle_third", b)
+            .row(&id, "late_third", c)
+            .add_trials(cfg.cell_trials(60));
         t2.row(vec![
             proto.into(),
             format!("{a:.3}"),
@@ -160,7 +184,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          while UNIFORM degrades toward the tail (its per-slot contention piles up \
          against the common deadline) — each protocol has its own adversarial shape\n",
     );
-    out
+    rb.check(
+        "genie_perfect_on_both_shapes",
+        genie_ok,
+        "edf-genie delivers 1.0 on rolling harmonic and staircase",
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::scheduled::scheduled_protocols;
 use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
 use dcr_core::punctual::PunctualParams;
@@ -97,8 +98,13 @@ fn measure(cfg: &ExpConfig, instance: &Instance, proto: &str) -> Cell {
 }
 
 /// Run E17.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let instance = make_instance(cfg);
+    let mut rb = ReportBuilder::new("e17", "E17: delivery latency distributions", cfg);
+    rb.param("n_jobs", instance.n())
+        .param("window", WINDOW)
+        .param("trials_per_cell", cfg.cell_trials(16));
+    let mut punctual_max = f64::NAN;
     let mut table = Table::new(vec![
         "protocol",
         "delivered",
@@ -115,6 +121,21 @@ pub fn run(cfg: &ExpConfig) -> String {
     ));
     for proto in ["edf-genie", "beb", "sawtooth", "uniform", "punctual"] {
         let c = measure(cfg, &instance, proto);
+        if proto == "punctual" {
+            punctual_max = c.max;
+        }
+        rb.row(proto, "delivered_fraction", c.delivered)
+            .row(proto, "latency_p50", c.p50)
+            .row(proto, "latency_p95", c.p95)
+            .row(proto, "latency_max", c.max)
+            .row_ci(
+                proto,
+                "latency_mean",
+                (c.mean_lo + c.mean_hi) / 2.0,
+                (c.mean_lo, c.mean_hi),
+                cfg.cell_trials(16),
+            )
+            .add_trials(cfg.cell_trials(16));
         table.row(vec![
             proto.into(),
             format!("{:.3}", c.delivered),
@@ -132,7 +153,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          machinery spends the window on purpose, converting latency headroom into a \
          by-deadline guarantee\n",
     );
-    out
+    rb.check(
+        "punctual_latency_inside_window",
+        punctual_max < WINDOW as f64,
+        format!("punctual max latency {punctual_max:.0} vs window {WINDOW}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::PersistentP;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::contention::success_prob_bounds;
 use dcr_sim::engine::{Engine, EngineConfig};
 use dcr_sim::job::JobSpec;
@@ -29,9 +30,13 @@ fn measure(c: f64, slots: u64, seed: u64) -> Proportion {
 }
 
 /// Run E1.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let slots = if cfg.quick { 4_000 } else { 40_000 };
     let grid = [0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0];
+    let mut rb = ReportBuilder::new("e1", "E1 (Lemma 2): contention vs success probability", cfg);
+    rb.param("probes", PROBES)
+        .param("slots", slots)
+        .param("contention_grid", format!("{grid:?}"));
 
     let mut table = Table::new(vec![
         "C",
@@ -55,6 +60,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         if !ok {
             violations += 1;
         }
+        rb.prop(format!("C={c}"), "p_success", &prop)
+            .row(format!("C={c}"), "bound_lo", lo)
+            .row(format!("C={c}"), "bound_hi", hi)
+            .add_slots(slots);
         table.row(vec![
             fnum(c),
             fnum(lo),
@@ -70,7 +79,12 @@ pub fn run(cfg: &ExpConfig) -> String {
          shape check: peak near C=1, exponential collapse for C >= 4\n",
         grid.len()
     ));
-    out
+    rb.check(
+        "lemma2_sandwich",
+        violations == 0,
+        format!("violations {violations}/{}", grid.len()),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]
@@ -81,8 +95,20 @@ mod tests {
     fn bounds_hold_on_quick_run() {
         let out = run(&ExpConfig::quick());
         assert!(
-            out.contains("bound violations: 0/"),
-            "Lemma 2 sandwich violated:\n{out}"
+            out.text.contains("bound violations: 0/"),
+            "Lemma 2 sandwich violated:\n{}",
+            out.text
+        );
+        // The structured artifact carries the same verdict and one CI row
+        // per grid point.
+        assert!(out.report.all_checks_passed());
+        assert_eq!(
+            out.report
+                .rows
+                .iter()
+                .filter(|r| r.metric == "p_success")
+                .count(),
+            11
         );
     }
 

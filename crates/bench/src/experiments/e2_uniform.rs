@@ -8,6 +8,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::{mean, run_instance};
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::uniform::Uniform;
 use dcr_sim::engine::EngineConfig;
 use dcr_sim::rng::{SeedSeq, StreamLabel};
@@ -25,10 +26,22 @@ fn aligned_instance(scale: u32) -> Instance {
     let horizon = 1u64 << (9 + scale);
     aligned_classes(
         &[
-            ClassSpec { class: 6, jobs_per_window: 2 },
-            ClassSpec { class: 7, jobs_per_window: 4 },
-            ClassSpec { class: 8, jobs_per_window: 8 },
-            ClassSpec { class: 9, jobs_per_window: 16 },
+            ClassSpec {
+                class: 6,
+                jobs_per_window: 2,
+            },
+            ClassSpec {
+                class: 7,
+                jobs_per_window: 4,
+            },
+            ClassSpec {
+                class: 8,
+                jobs_per_window: 8,
+            },
+            ClassSpec {
+                class: 9,
+                jobs_per_window: 16,
+            },
         ],
         horizon,
         None,
@@ -42,26 +55,35 @@ fn unaligned_instance(scale: u32, seed: u64) -> Instance {
     thin_to_feasible(raw, 1.0 / INV_GAMMA as f64)
 }
 
-fn sweep(cfg: &ExpConfig, table: &mut Table, kind: &str, make: impl Fn(u32) -> Instance) {
+fn sweep(
+    cfg: &ExpConfig,
+    table: &mut Table,
+    rb: &mut ReportBuilder,
+    kind: &str,
+    make: impl Fn(u32) -> Instance,
+) -> Vec<f64> {
     let scales: &[u32] = if cfg.quick { &[0, 2] } else { &[0, 1, 2, 3, 4] };
+    let mut means = Vec::with_capacity(scales.len());
     for &scale in scales {
         let instance = make(scale);
         let n = instance.n();
         let trials = cfg.cell_trials(80);
-        let fractions: Vec<f64> = run_trials(trials, cfg.seed ^ u64::from(scale), |_, seed| {
-            run_instance(
-                &instance,
-                EngineConfig::default(),
-                None,
-                seed,
-                |_| Box::new(Uniform::single()),
-            )
-            .success_fraction()
-        })
-        .into_iter()
-        .map(|t| t.value)
-        .collect();
+        let outcomes = run_trials(trials, cfg.seed ^ u64::from(scale), |_, seed| {
+            let r = run_instance(&instance, EngineConfig::default(), None, seed, |_| {
+                Box::new(Uniform::single())
+            });
+            (r.success_fraction(), r.slots_run)
+        });
+        let slots: u64 = outcomes.iter().map(|t| t.value.1).sum();
+        let fractions: Vec<f64> = outcomes.into_iter().map(|t| t.value.0).collect();
         let s = Summary::from_iter(fractions.iter().copied());
+        let cell = format!("{kind},n={n}");
+        rb.row(&cell, "mean_fraction", s.mean())
+            .row(&cell, "sd", s.std_dev())
+            .row(&cell, "min_fraction", s.min())
+            .add_trials(trials)
+            .add_slots(slots);
+        means.push(s.mean());
         table.row(vec![
             kind.to_string(),
             n.to_string(),
@@ -70,18 +92,25 @@ fn sweep(cfg: &ExpConfig, table: &mut Table, kind: &str, make: impl Fn(u32) -> I
             format!("{:.3}", s.min()),
         ]);
     }
+    means
 }
 
 /// Run E2.
-pub fn run(cfg: &ExpConfig) -> String {
-    let mut table = Table::new(vec!["windows", "n", "mean fraction", "sd", "min"]).with_title(
-        format!(
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rb = ReportBuilder::new(
+        "e2",
+        "E2 (Lemma 4): UNIFORM success fraction on dense instances",
+        cfg,
+    );
+    rb.param("inv_gamma", INV_GAMMA)
+        .param("trials_per_cell", cfg.cell_trials(80));
+    let mut table =
+        Table::new(vec!["windows", "n", "mean fraction", "sd", "min"]).with_title(format!(
             "E2 (Lemma 4): UNIFORM success fraction on 1/{INV_GAMMA}-dense instances, seed {}",
             cfg.seed
-        ),
-    );
-    sweep(cfg, &mut table, "aligned", aligned_instance);
-    sweep(cfg, &mut table, "arbitrary", |s| {
+        ));
+    let aligned_means = sweep(cfg, &mut table, &mut rb, "aligned", aligned_instance);
+    let arbitrary_means = sweep(cfg, &mut table, &mut rb, "arbitrary", |s| {
         unaligned_instance(s, cfg.seed)
     });
 
@@ -94,7 +123,27 @@ pub fn run(cfg: &ExpConfig) -> String {
          shape check: fraction ≈ constant in n, bounded away from 0\n",
         slack_aligned, slack_random
     ));
-    out
+    let worst = aligned_means
+        .iter()
+        .chain(&arbitrary_means)
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let spread = aligned_means
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - aligned_means.iter().copied().fold(f64::INFINITY, f64::min);
+    rb.check(
+        "fraction_bounded_away_from_zero",
+        worst > 0.25,
+        format!("worst mean fraction {worst:.3}"),
+    )
+    .check(
+        "fraction_flat_in_n",
+        spread < 0.15,
+        format!("aligned mean spread {spread:.3}"),
+    );
+    rb.finish(out)
 }
 
 /// Mean success fraction of UNIFORM on the scale-0 aligned instance (used
@@ -103,13 +152,9 @@ pub fn baseline_fraction(cfg: &ExpConfig) -> f64 {
     let instance = aligned_instance(0);
     mean(
         run_trials(cfg.cell_trials(40), cfg.seed, |_, seed| {
-            run_instance(
-                &instance,
-                EngineConfig::default(),
-                None,
-                seed,
-                |_| Box::new(Uniform::single()),
-            )
+            run_instance(&instance, EngineConfig::default(), None, seed, |_| {
+                Box::new(Uniform::single())
+            })
             .success_fraction()
         })
         .into_iter()

@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
 use dcr_core::uniform::Uniform;
 use dcr_sim::engine::{EngineConfig, Protocol};
@@ -36,11 +37,7 @@ where
         .filter(|&i| r.outcome(i as u32).is_success())
         .count() as f64
         / decile as f64;
-    (
-        r.outcome(0).is_success(),
-        decile_ok,
-        r.success_fraction(),
-    )
+    (r.outcome(0).is_success(), decile_ok, r.success_fraction())
 }
 
 struct Cell {
@@ -69,12 +66,16 @@ fn sweep(cfg: &ExpConfig, n: usize, proto: &str) -> Cell {
 }
 
 /// Run E3.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let ns: &[usize] = if cfg.quick {
         &[16, 64, 256]
     } else {
         &[16, 32, 64, 128, 256, 512, 1024]
     };
+    let mut rb = ReportBuilder::new("e3", "E3 (Lemma 5): UNIFORM starves urgent jobs", cfg);
+    rb.param("inv_gamma", INV_GAMMA)
+        .param("ns", format!("{ns:?}"))
+        .param("trials_per_cell", cfg.cell_trials(200));
     let mut out = String::new();
     let mut uniform_points = Vec::new();
     for proto in ["uniform", "uniform3", "beb", "sawtooth"] {
@@ -93,6 +94,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             if proto == "uniform" {
                 uniform_points.push((n as f64, cell.first.estimate()));
             }
+            let id = format!("{proto},n={n}");
+            rb.prop(&id, "p_first_success", &cell.first)
+                .row(&id, "urgent_decile", cell.decile)
+                .row(&id, "overall_fraction", cell.overall)
+                .add_trials(cfg.cell_trials(200));
             table.row(vec![
                 n.to_string(),
                 cell.first.to_string(),
@@ -110,8 +116,15 @@ pub fn run(cfg: &ExpConfig) -> String {
              negative power of n\n",
             fit.slope, fit.r2
         ));
+        rb.row("uniform", "loglog_slope", fit.slope)
+            .row("uniform", "loglog_r2", fit.r2)
+            .check(
+                "starvation_is_polynomial",
+                fit.slope < 0.0,
+                format!("fitted exponent {:.2}", fit.slope),
+            );
     }
-    out
+    rb.finish(out)
 }
 
 #[cfg(test)]

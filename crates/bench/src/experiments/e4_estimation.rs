@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_single_class;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_sim::runner::run_trials;
 use dcr_stats::{Proportion, Table};
@@ -58,7 +59,7 @@ fn sweep(cfg: &ExpConfig, class: u32, n_hat: usize, p_jam: f64, tau: u64) -> Cel
 }
 
 /// Run E4.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let tau = 64; // the paper's constant for Lemma 8
     let class = 12; // estimation alone: λℓ² = 144 ≪ 4096
     let n_hats: &[usize] = if cfg.quick {
@@ -67,6 +68,12 @@ pub fn run(cfg: &ExpConfig) -> String {
         &[1, 2, 4, 8, 16, 32, 64, 128]
     };
     let jams = [0.0, 0.25, 0.5];
+    let mut rb = ReportBuilder::new("e4", "E4 (Lemma 8): size-estimation accuracy", cfg);
+    rb.param("tau", tau)
+        .param("class", class)
+        .param("n_hats", format!("{n_hats:?}"))
+        .param("jam_levels", format!("{jams:?}"))
+        .param("trials_per_cell", cfg.cell_trials(240));
 
     let mut table = Table::new(vec![
         "n̂",
@@ -84,6 +91,11 @@ pub fn run(cfg: &ExpConfig) -> String {
         for &p_jam in &jams {
             let cell = sweep(cfg, class, n_hat, p_jam, tau);
             worst_band = worst_band.min(cell.in_paper_band.estimate());
+            let id = format!("n={n_hat},p_jam={p_jam}");
+            rb.prop(&id, "p_in_paper_band", &cell.in_paper_band)
+                .prop(&id, "p_overestimate", &cell.overestimate)
+                .row(&id, "mean_ratio", cell.mean_ratio)
+                .add_trials(cfg.cell_trials(240));
             table.row(vec![
                 n_hat.to_string(),
                 format!("{p_jam:.2}"),
@@ -97,7 +109,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     out.push_str(&format!(
         "\nworst in-band rate: {worst_band:.3} (Lemma 8 claims 1 − 1/w^Θ(λ))\n"
     ));
-    out
+    rb.row("overall", "worst_in_band_rate", worst_band).check(
+        "lemma8_band",
+        worst_band > 0.8,
+        format!("worst in-band rate {worst_band:.3}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

@@ -9,13 +9,18 @@
 //! plus the expanded broadcast layout.
 
 use crate::config::ExpConfig;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::broadcast::BroadcastLayout;
 use dcr_core::aligned::params::AlignedParams;
 use dcr_stats::Table;
 
 /// Run E5.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let lambdas: &[u64] = if cfg.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut rb = ReportBuilder::new("e5", "E5 (Lemma 6): active-step arithmetic", cfg);
+    rb.param("lambdas", format!("{lambdas:?}"))
+        .param("classes", "[1, 3, 6, 10, 16]")
+        .param("n_exponents", "[0, 2, 5, 10]");
     let mut table = Table::new(vec![
         "λ",
         "ℓ",
@@ -40,6 +45,9 @@ pub fn run(cfg: &ExpConfig) -> String {
                 if !ok {
                     mismatches += 1;
                 }
+                let cell = format!("lambda={lambda},l={class},n={n}");
+                rb.row(&cell, "total_active", total as f64)
+                    .row(&cell, "formula", formula as f64);
                 table.row(vec![
                     lambda.to_string(),
                     class.to_string(),
@@ -54,8 +62,15 @@ pub fn run(cfg: &ExpConfig) -> String {
         }
     }
     let mut out = table.render();
-    out.push_str(&format!("\nmismatches: {mismatches} (Lemma 6 requires 0)\n"));
-    out
+    out.push_str(&format!(
+        "\nmismatches: {mismatches} (Lemma 6 requires 0)\n"
+    ));
+    rb.check(
+        "lemma6_formula",
+        mismatches == 0,
+        format!("{mismatches} mismatches"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]
@@ -65,6 +80,9 @@ mod tests {
     #[test]
     fn formula_matches_everywhere() {
         let out = run(&ExpConfig::quick());
-        assert!(out.contains("mismatches: 0"), "{out}");
+        assert!(out.text.contains("mismatches: 0"), "{}", out.text);
+        assert!(out.report.all_checks_passed());
+        // Every (λ, ℓ, n) cell contributes a total and a formula row.
+        assert_eq!(out.report.rows.len(), 2 * 2 * 5 * 4);
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_instance;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_core::aligned::protocol::AlignedProtocol;
 use dcr_sim::engine::EngineConfig;
@@ -24,9 +25,18 @@ use dcr_workloads::Instance;
 fn instance(base: u32) -> Instance {
     aligned_classes(
         &[
-            ClassSpec { class: base, jobs_per_window: 1 },
-            ClassSpec { class: base + 1, jobs_per_window: 1 },
-            ClassSpec { class: base + 2, jobs_per_window: 2 },
+            ClassSpec {
+                class: base,
+                jobs_per_window: 1,
+            },
+            ClassSpec {
+                class: base + 1,
+                jobs_per_window: 1,
+            },
+            ClassSpec {
+                class: base + 2,
+                jobs_per_window: 2,
+            },
         ],
         1u64 << (base + 3),
         None,
@@ -67,8 +77,15 @@ fn sweep(cfg: &ExpConfig, base: u32) -> Cell {
 }
 
 /// Run E6.
-pub fn run(cfg: &ExpConfig) -> String {
-    let bases: &[u32] = if cfg.quick { &[6, 8, 10] } else { &[5, 6, 7, 8, 9, 10] };
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let bases: &[u32] = if cfg.quick {
+        &[6, 8, 10]
+    } else {
+        &[5, 6, 7, 8, 9, 10]
+    };
+    let mut rb = ReportBuilder::new("e6", "E6 (Lemma 12): truncation vs gamma", cfg);
+    rb.param("min_classes", format!("{bases:?}"))
+        .param("trials_per_cell", cfg.cell_trials(120));
     let mut table = Table::new(vec![
         "min_class (= log2 1/γ)",
         "est overhead λΣℓ²/2^ℓ",
@@ -82,6 +99,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut cells = Vec::new();
     for &base in bases {
         let cell = sweep(cfg, base);
+        let id = format!("min_class={base}");
+        rb.prop(&id, "p_top_fully_delivered", &cell.top_all_delivered)
+            .row(&id, "overall_fraction", cell.overall)
+            .row(&id, "est_overhead", cell.overhead)
+            .add_trials(cfg.cell_trials(120));
         table.row(vec![
             base.to_string(),
             format!("{:.2}", cell.overhead),
@@ -91,13 +113,24 @@ pub fn run(cfg: &ExpConfig) -> String {
         cells.push(cell);
     }
     let mut out = table.render();
-    let first = cells.first().map(|c| c.top_all_delivered.estimate()).unwrap_or(0.0);
-    let last = cells.last().map(|c| c.top_all_delivered.estimate()).unwrap_or(0.0);
+    let first = cells
+        .first()
+        .map(|c| c.top_all_delivered.estimate())
+        .unwrap_or(0.0);
+    let last = cells
+        .last()
+        .map(|c| c.top_all_delivered.estimate())
+        .unwrap_or(0.0);
     out.push_str(&format!(
         "\nshape check: completion rate rises toward 1 as γ shrinks ({first:.2} → {last:.2});\n\
          the crossover sits where the deterministic overhead column drops below ~0.6\n"
     ));
-    out
+    rb.check(
+        "completion_rises_as_gamma_shrinks",
+        last >= first,
+        format!("{first:.2} -> {last:.2}"),
+    );
+    rb.finish(out)
 }
 
 #[cfg(test)]

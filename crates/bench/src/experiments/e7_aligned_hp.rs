@@ -8,6 +8,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::run_single_class;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_sim::runner::run_trials;
 use dcr_stats::{loglog_slope, Proportion, Table};
@@ -55,7 +56,7 @@ fn stressed_cell(
 }
 
 /// Run E7.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     // Smallest viable class per λ: the schedule 2λ(ℓ² + n_ℓ − 1) must fit
     // inside 2^ℓ even with the τ-inflated estimate.
     let sweeps: &[(u64, &[u32])] = if cfg.quick {
@@ -63,6 +64,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         &[(1, &[8, 9, 10, 11, 12, 13]), (2, &[9, 10, 11, 12, 13, 14])]
     };
+    let mut rb = ReportBuilder::new("e7", "E7 (Theorem 14): ALIGNED per-job failure decay", cfg);
+    rb.param("n_jobs", N_JOBS)
+        .param("trials_per_cell", cfg.cell_trials(500));
     let mut out = String::new();
     for (lambda, classes) in sweeps {
         let mut table = Table::new(vec!["ℓ", "w = 2^ℓ", "per-job failure rate", "upper95"])
@@ -75,6 +79,9 @@ pub fn run(cfg: &ExpConfig) -> String {
             let trials = cfg.cell_trials(500);
             let p = cell(cfg, class, *lambda, trials);
             points.push(((1u64 << class) as f64, p.estimate()));
+            rb.prop(format!("lambda={lambda},l={class}"), "per_job_failure", &p)
+                .add_trials(trials)
+                .add_slots(trials << class);
             table.row(vec![
                 class.to_string(),
                 (1u64 << class).to_string(),
@@ -89,8 +96,19 @@ pub fn run(cfg: &ExpConfig) -> String {
                  steepens with λ\n\n",
                 fit.slope, fit.r2
             ));
+            rb.row(format!("lambda={lambda}"), "loglog_slope", fit.slope)
+                .check(
+                    &format!("failure_decays_lambda{lambda}"),
+                    fit.slope <= 0.0,
+                    format!("fitted exponent {:.2}", fit.slope),
+                );
         } else {
             out.push_str("no failures observed anywhere in the sweep\n\n");
+            rb.check(
+                &format!("failure_decays_lambda{lambda}"),
+                true,
+                "no failures observed anywhere in the sweep",
+            );
         }
     }
 
@@ -101,10 +119,16 @@ pub fn run(cfg: &ExpConfig) -> String {
     // small enough), so their failure GROWS with w — the negative control.
     // The (λ=4, w/64) sweep is inside the stable regime and exhibits the
     // claimed polynomial decay.
-    let stress_classes: &[u32] = if cfg.quick { &[9, 11, 13] } else { &[9, 10, 11, 12, 13, 14] };
-    for (lambda, divisor, regime) in
-        [(1u64, 32usize, "above γ-threshold"), (2, 32, "above γ-threshold"), (4, 64, "stable")]
-    {
+    let stress_classes: &[u32] = if cfg.quick {
+        &[9, 11, 13]
+    } else {
+        &[9, 10, 11, 12, 13, 14]
+    };
+    for (lambda, divisor, regime) in [
+        (1u64, 32usize, "above γ-threshold"),
+        (2, 32, "above γ-threshold"),
+        (4, 64, "stable"),
+    ] {
         let mut table = Table::new(vec!["ℓ", "n", "per-job failure rate"]).with_title(format!(
             "E7-stress ({regime}): n = w/{divisor}, p_jam = 0.5, λ={lambda}, τ=2, seed {}",
             cfg.seed
@@ -114,6 +138,13 @@ pub fn run(cfg: &ExpConfig) -> String {
             let trials = cfg.cell_trials(300);
             let p = stressed_cell(cfg, class, lambda, divisor, trials);
             points.push(((1u64 << class) as f64, p.estimate()));
+            rb.prop(
+                format!("stress,lambda={lambda},l={class}"),
+                "per_job_failure",
+                &p,
+            )
+            .add_trials(trials)
+            .add_slots(trials << class);
             table.row(vec![
                 class.to_string(),
                 ((1usize << class) / divisor).max(1).to_string(),
@@ -127,9 +158,26 @@ pub fn run(cfg: &ExpConfig) -> String {
                  threshold, negative in the stable regime\n\n",
                 fit.slope, fit.r2
             ));
+            rb.row(format!("stress,lambda={lambda}"), "loglog_slope", fit.slope)
+                .check(
+                    &format!(
+                        "stress_lambda{lambda}_{}",
+                        if regime == "stable" {
+                            "stable_decays"
+                        } else {
+                            "overload_grows"
+                        }
+                    ),
+                    if regime == "stable" {
+                        fit.slope <= 0.0
+                    } else {
+                        fit.slope >= 0.0
+                    },
+                    format!("fitted exponent {:.2}", fit.slope),
+                );
         }
     }
-    out
+    rb.finish(out)
 }
 
 #[cfg(test)]

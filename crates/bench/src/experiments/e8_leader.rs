@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::find_round_anchor;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::punctual::messages::KIND_CLAIM;
 use dcr_core::punctual::{PunctualParams, ROUND_LEN};
 use dcr_core::PunctualProtocol;
@@ -85,7 +86,7 @@ fn sweep(cfg: &ExpConfig, n: u32) -> Cell {
 }
 
 /// Run E8.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let wr = WINDOW / ROUND_LEN;
     let threshold = (wr as f64 / (wr as f64).log2()) as u32;
     let ns: &[u32] = if cfg.quick {
@@ -93,6 +94,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         &[1, 4, 16, 32, 64, 96]
     };
+    let mut rb = ReportBuilder::new("e8", "E8 (Lemmas 16-17): leader election", cfg);
+    rb.param("window", WINDOW)
+        .param("density_threshold", threshold)
+        .param("ns", format!("{ns:?}"))
+        .param("trials_per_cell", cfg.cell_trials(60));
     let mut table = Table::new(vec![
         "n (jobs)",
         "P[leader elected]",
@@ -107,6 +113,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut cells = Vec::new();
     for &n in ns {
         let c = sweep(cfg, n);
+        let id = format!("n={n}");
+        rb.prop(&id, "p_leader_elected", &c.elected)
+            .row(&id, "election_slot_contention", c.contention)
+            .row(&id, "delivered_fraction", c.delivered)
+            .add_trials(cfg.cell_trials(60))
+            .add_slots(cfg.cell_trials(60) * WINDOW);
         table.row(vec![
             n.to_string(),
             c.elected.to_string(),
@@ -125,7 +137,20 @@ pub fn run(cfg: &ExpConfig) -> String {
          election-slot contention stays ≤ ε (max observed {max_contention:.3}, Lemma 16 \
          wants an arbitrarily small constant)\n"
     ));
-    out
+    rb.row("overall", "max_election_contention", max_contention)
+        .check(
+            "lemma16_contention_small",
+            max_contention < 0.5,
+            format!("max election-slot contention {max_contention:.3}"),
+        );
+    if let Some((_, dense)) = cells.iter().max_by_key(|(n, _)| *n) {
+        rb.check(
+            "lemma17_dense_class_elects",
+            dense.elected.estimate() > 0.6,
+            format!("dense-class election rate {}", dense.elected),
+        );
+    }
+    rb.finish(out)
 }
 
 #[cfg(test)]

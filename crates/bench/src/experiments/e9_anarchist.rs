@@ -14,6 +14,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::find_round_anchor;
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::punctual::{PunctualParams, ROUND_LEN};
 use dcr_core::PunctualProtocol;
 use dcr_sim::engine::{Engine, EngineConfig};
@@ -96,36 +97,54 @@ fn sweep(cfg: &ExpConfig, n: u32, params: PunctualParams) -> Cell {
 }
 
 /// Run E9.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let ns: &[u32] = if cfg.quick { &[4, 64] } else { &[2, 8, 32, 64] };
+    let mut rb = ReportBuilder::new("e9", "E9 (Lemmas 18-19, Cor. 20): anarchist behaviour", cfg);
+    rb.param("window", WINDOW)
+        .param("ns", format!("{ns:?}"))
+        .param("trials_per_cell", cfg.cell_trials(50));
     let mut out = String::new();
 
-    let mut t1 = Table::new(vec!["n", "delivered", "share of deliveries in anarchy slots"])
-        .with_title(format!(
-            "E9a (Lemma 18): normal PUNCTUAL, w={WINDOW}, seed {} — dense classes \
+    let mut t1 = Table::new(vec![
+        "n",
+        "delivered",
+        "share of deliveries in anarchy slots",
+    ])
+    .with_title(format!(
+        "E9a (Lemma 18): normal PUNCTUAL, w={WINDOW}, seed {} — dense classes \
              should deliver via the leader's aligned slots, not anarchy",
-            cfg.seed
-        ));
+        cfg.seed
+    ));
+    let mut normal_cells = Vec::new();
     for &n in ns {
         let c = sweep(cfg, n, normal_params());
+        let id = format!("normal,n={n}");
+        rb.row(&id, "delivered_fraction", c.delivered)
+            .row(&id, "anarchy_share", c.anarchy_share)
+            .add_trials(cfg.cell_trials(50))
+            .add_slots(cfg.cell_trials(50) * WINDOW);
         t1.row(vec![
             n.to_string(),
             format!("{:.3}", c.delivered),
             format!("{:.3}", c.anarchy_share),
         ]);
+        normal_cells.push(c);
     }
     out.push_str(&t1.render());
 
-    let mut t2 = Table::new(vec!["n", "delivered", "share in anarchy slots"]).with_title(
-        format!(
-            "\nE9b (Corollary 20): pullback crippled to force anarchy — anarchists must \
+    let mut t2 = Table::new(vec!["n", "delivered", "share in anarchy slots"]).with_title(format!(
+        "\nE9b (Corollary 20): pullback crippled to force anarchy — anarchists must \
              still deliver w.h.p., seed {}",
-            cfg.seed
-        ),
-    );
+        cfg.seed
+    ));
     let mut forced_cells = Vec::new();
     for &n in ns {
         let c = sweep(cfg, n, forced_anarchy_params());
+        let id = format!("forced,n={n}");
+        rb.row(&id, "delivered_fraction", c.delivered)
+            .row(&id, "anarchy_share", c.anarchy_share)
+            .add_trials(cfg.cell_trials(50))
+            .add_slots(cfg.cell_trials(50) * WINDOW);
         t2.row(vec![
             n.to_string(),
             format!("{:.3}", c.delivered),
@@ -138,8 +157,21 @@ pub fn run(cfg: &ExpConfig) -> String {
         "\nshape checks: E9a anarchy share small and shrinking with n; \
          E9b delivery stays high with anarchy share ≈ 1 at small n\n",
     );
-    let _ = forced_cells;
-    out
+    if let Some(dense) = normal_cells.last() {
+        rb.check(
+            "lemma18_dense_class_avoids_anarchy",
+            dense.anarchy_share < 0.5,
+            format!("anarchy share at max n: {:.3}", dense.anarchy_share),
+        );
+    }
+    if let Some(forced) = forced_cells.first() {
+        rb.check(
+            "cor20_forced_anarchists_deliver",
+            forced.delivered > 0.8,
+            format!("forced-anarchy delivery at min n: {:.3}", forced.delivered),
+        );
+    }
+    rb.finish(out)
 }
 
 #[cfg(test)]

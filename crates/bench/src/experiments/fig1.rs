@@ -10,6 +10,7 @@
 
 use crate::config::ExpConfig;
 use crate::experiments::util::{feedback_of, run_instance};
+use crate::report::{ExpOutput, ReportBuilder};
 use dcr_core::aligned::params::AlignedParams;
 use dcr_core::aligned::protocol::AlignedProtocol;
 use dcr_core::aligned::tracker::{StepKind, Tracker};
@@ -23,14 +24,27 @@ const CLASSES: [u32; 3] = [9, 10, 11];
 const CHARS_PER_CELL: u64 = 16;
 
 /// Run F1 and render the schedule.
-pub fn run(cfg: &ExpConfig) -> String {
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rb = ReportBuilder::new("fig1", "F1 (Figure 1): pecking-order schedule", cfg);
     let params = AlignedParams::new(1, 2, CLASSES[0]);
     let horizon = 1u64 << (CLASSES[2] + 1); // two large windows
+    rb.param("classes", format!("{CLASSES:?}"))
+        .param("horizon", horizon)
+        .param("chars_per_cell", CHARS_PER_CELL);
     let instance = aligned_classes(
         &[
-            ClassSpec { class: CLASSES[0], jobs_per_window: 1 },
-            ClassSpec { class: CLASSES[1], jobs_per_window: 2 },
-            ClassSpec { class: CLASSES[2], jobs_per_window: 3 },
+            ClassSpec {
+                class: CLASSES[0],
+                jobs_per_window: 1,
+            },
+            ClassSpec {
+                class: CLASSES[1],
+                jobs_per_window: 2,
+            },
+            ClassSpec {
+                class: CLASSES[2],
+                jobs_per_window: 3,
+            },
         ],
         horizon,
         None,
@@ -118,9 +132,14 @@ pub fn run(cfg: &ExpConfig) -> String {
             }
         }
         let est = estimate.unwrap_or(0);
-        let rate = report
-            .success_fraction_for_window(w)
-            .unwrap_or(f64::NAN);
+        let rate = report.success_fraction_for_window(w).unwrap_or(f64::NAN);
+        rb.row(format!("class={class}"), "estimate_n_l", est as f64)
+            .row(
+                format!("class={class}"),
+                "est_steps",
+                params.est_len(class) as f64,
+            )
+            .row(format!("class={class}"), "success_rate", rate);
         table.row(vec![
             class.to_string(),
             w.to_string(),
@@ -137,7 +156,15 @@ pub fn run(cfg: &ExpConfig) -> String {
         instance.n(),
         cfg.seed
     ));
-    out
+    rb.row("overall", "jobs_delivered", report.successes() as f64)
+        .row("overall", "jobs_total", instance.n() as f64)
+        .check(
+            "all_jobs_delivered",
+            report.successes() == instance.n(),
+            format!("{}/{} delivered", report.successes(), instance.n()),
+        )
+        .add_slots(report.slots_run);
+    rb.finish(out)
 }
 
 #[cfg(test)]
@@ -146,12 +173,23 @@ mod tests {
 
     #[test]
     fn renders_all_rows_and_summary() {
-        let out = run(&ExpConfig::quick());
+        let out = run(&ExpConfig::quick()).text;
         assert!(out.contains("w=2^9"));
         assert!(out.contains("w=2^11"));
         assert!(out.contains("Per-class summary"));
         // The small class must show estimation activity.
         let small_row = out.lines().find(|l| l.starts_with("w=2^9")).unwrap();
         assert!(small_row.contains('E'), "{small_row}");
+    }
+
+    #[test]
+    fn structured_report_mirrors_summary() {
+        let out = run(&ExpConfig::quick());
+        let r = &out.report;
+        assert_eq!(r.experiment, "fig1");
+        for class in CLASSES {
+            assert!(r.row(&format!("class={class}"), "success_rate").is_some());
+        }
+        assert!(r.timing.slots_simulated > 0);
     }
 }

@@ -16,17 +16,30 @@
 
 pub mod config;
 pub mod experiments;
+pub mod report;
 
 pub use config::ExpConfig;
+pub use report::{ExpOutput, ReportBuilder};
 
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "a1",
-    "a2",
+    "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    "e14", "e15", "e16", "e17", "a1", "a2",
 ];
 
-/// Run one experiment by id, returning its rendered report.
+/// Run one experiment by id, returning its rendered text report.
+///
+/// Thin wrapper over [`run_experiment_report`] for callers that only want
+/// the human-readable output.
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Option<String> {
+    run_experiment_report(id, cfg).map(|out| out.text)
+}
+
+/// Run one experiment by id, returning its full [`ExpOutput`]: the
+/// rendered text plus the structured [`dcr_stats::ExperimentReport`]
+/// artifact (per-cell metrics with confidence intervals, claim checks,
+/// timing, provenance).
+pub fn run_experiment_report(id: &str, cfg: &ExpConfig) -> Option<ExpOutput> {
     let out = match id {
         "fig1" => experiments::fig1::run(cfg),
         "e1" => experiments::e1_contention::run(cfg),

@@ -349,8 +349,7 @@ mod tests {
         // Drive the state machine directly: 3 jobs of class 4 at vt 0,
         // min_class = 4 so every slot belongs to the jobs' own class.
         let p = AlignedParams::new(1, 2, 4);
-        let mut jobs: Vec<AlignedJob> =
-            (0..3).map(|i| AlignedJob::new(p, i, 4, 0)).collect();
+        let mut jobs: Vec<AlignedJob> = (0..3).map(|i| AlignedJob::new(p, i, 4, 0)).collect();
         let mut rng = rand::rngs::mock::StepRng::new(0, 0x9e3779b97f4a7c15);
         for vt in 0..p.est_len(4) {
             let acts: Vec<AlignedAction> =

@@ -292,7 +292,11 @@ mod tests {
                 matches!(s.kind, StepKind::Estimation { phase: p, .. } if p == phase),
                 "t={t}"
             );
-            let fb = if phase == 1 { success(0) } else { Feedback::Silent };
+            let fb = if phase == 1 {
+                success(0)
+            } else {
+                Feedback::Silent
+            };
             tr.end_slot(t, &fb);
         }
         assert_eq!(tr.estimate_of(7), Some(4));
@@ -332,7 +336,11 @@ mod tests {
         for t in 8..16 {
             let a = big.begin_slot(t);
             let b = small.begin_slot(t);
-            let fb = if t % 3 == 0 { success(1) } else { Feedback::Silent };
+            let fb = if t % 3 == 0 {
+                success(1)
+            } else {
+                Feedback::Silent
+            };
             match (a, b) {
                 (Some(sa), Some(sb)) => assert_eq!(sa, sb, "t={t}"),
                 (Some(sa), None) => {

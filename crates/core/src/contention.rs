@@ -46,7 +46,11 @@ pub fn exact_success_prob(probs: &[f64]) -> f64 {
         }
         // Exactly one certain transmitter: success iff everyone else stays
         // silent.
-        1 => probs.iter().filter(|&&p| p != 1.0).map(|&p| 1.0 - p).product(),
+        1 => probs
+            .iter()
+            .filter(|&&p| p != 1.0)
+            .map(|&p| 1.0 - p)
+            .product(),
         // Two certain transmitters always collide.
         _ => 0.0,
     }

@@ -139,9 +139,9 @@ impl PunctualParams {
     pub fn pullback_election_slots(&self, w: u64) -> u64 {
         let wr = self.window_rounds(w).max(2) as f64;
         let lg = wr.log2().max(1.0);
-        let uncapped =
-            (((self.lambda as f64) * lg.powi(self.pullback_len_logexp as i32)).ceil() as u64)
-                .max(1);
+        let uncapped = (((self.lambda as f64) * lg.powi(self.pullback_len_logexp as i32)).ceil()
+            as u64)
+            .max(1);
         uncapped.min((self.window_rounds(w) / 4).max(1))
     }
 
@@ -237,8 +237,7 @@ mod tests {
         let w = 1u64 << 12;
         let wr = p.window_rounds(w) as f64;
         let s = wr / wr.log2();
-        let expected_claims =
-            s * p.claim_probability(w) * p.pullback_election_slots(w) as f64;
+        let expected_claims = s * p.claim_probability(w) * p.pullback_election_slots(w) as f64;
         assert!(expected_claims > 1.0, "expected_claims={expected_claims}");
     }
 }

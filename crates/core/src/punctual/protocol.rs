@@ -258,7 +258,10 @@ impl PunctualProtocol {
                 _ => None,
             },
             State::Leader { phase } => {
-                if let LeaderPhase::Takeover { timekeepers_to_skip } = phase {
+                if let LeaderPhase::Takeover {
+                    timekeepers_to_skip,
+                } = phase
+                {
                     if *timekeepers_to_skip > 0 {
                         *timekeepers_to_skip -= 1;
                     }

@@ -73,12 +73,7 @@ impl Protocol for Uniform {
         }
     }
 
-    fn on_feedback(
-        &mut self,
-        ctx: &JobCtx,
-        fb: &dcr_sim::slot::Feedback,
-        _rng: &mut dyn RngCore,
-    ) {
+    fn on_feedback(&mut self, ctx: &JobCtx, fb: &dcr_sim::slot::Feedback, _rng: &mut dyn RngCore) {
         if let dcr_sim::slot::Feedback::Success { src, payload } = fb {
             if *src == ctx.id && payload.is_data() {
                 self.succeeded = true;
@@ -153,7 +148,10 @@ mod tests {
         let fractions: Vec<f64> = run_trials(20, 13, |_, seed| {
             let mut e = Engine::new(EngineConfig::default(), seed);
             for i in 0..n {
-                e.add_job(JobSpec::new(i, 0, u64::from(n)), Box::new(Uniform::single()));
+                e.add_job(
+                    JobSpec::new(i, 0, u64::from(n)),
+                    Box::new(Uniform::single()),
+                );
             }
             e.run().success_fraction()
         })

@@ -19,7 +19,10 @@ fn run_phase(n_hat: usize, phase: u32, steps: u64, p_jam: f64, seed: u64) -> u64
     let p = Estimation::tx_probability(phase);
     let mut successes = 0;
     for _ in 0..steps {
-        let tx = rngs.iter_mut().map(|r| u32::from(r.gen_bool(p))).sum::<u32>();
+        let tx = rngs
+            .iter_mut()
+            .map(|r| u32::from(r.gen_bool(p)))
+            .sum::<u32>();
         if tx == 1 && !(p_jam > 0.0 && jam.gen_bool(p_jam)) {
             successes += 1;
         }
@@ -64,7 +67,10 @@ fn lemma9_survives_half_jamming() {
             below += 1;
         }
     }
-    assert!(below <= 6, "{below}/{trials} trials below threshold at p_jam=0.5");
+    assert!(
+        below <= 6,
+        "{below}/{trials} trials below threshold at p_jam=0.5"
+    );
 }
 
 /// Lemma 10: a phase whose probability is far too high (`n̂ ≥ 2^{i+5}`,
@@ -121,6 +127,9 @@ fn lemma8_argmax_estimate_in_band() {
                 out_of_band += 1;
             }
         }
-        assert!(out_of_band <= 2, "n̂={n_hat}: {out_of_band}/{trials} out of band");
+        assert!(
+            out_of_band <= 2,
+            "n̂={n_hat}: {out_of_band}/{trials} out of band"
+        );
     }
 }

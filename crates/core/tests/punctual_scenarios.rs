@@ -69,7 +69,10 @@ impl Driver {
             // Start slots: at least the virtual peers transmit -> noise.
             (0 | 1, _) => Feedback::Noise,
             // Timekeeper: the scripted leader's beacon, if any.
-            (3, Action::Transmit(p)) => Feedback::Success { src: 0, payload: *p },
+            (3, Action::Transmit(p)) => Feedback::Success {
+                src: 0,
+                payload: *p,
+            },
             (3, _) => match beacon {
                 Some(msg) => Feedback::Success {
                     src: 99,
@@ -78,7 +81,10 @@ impl Driver {
                 None => Feedback::Silent,
             },
             // Other slots: the protocol's own lone transmission succeeds.
-            (_, Action::Transmit(p)) => Feedback::Success { src: 0, payload: *p },
+            (_, Action::Transmit(p)) => Feedback::Success {
+                src: 0,
+                payload: *p,
+            },
             _ => Feedback::Silent,
         }
     }
@@ -220,14 +226,17 @@ fn final_check_accepts_a_half_window_leader() {
 fn claims_leadership_and_beacons_when_alone() {
     // Tiny window: claim probability is high, so a lone job claims fast.
     let w = 400; // 40 rounds; seed probed so the claim lands
-    let mut d = Driver::new(params(), w, 0);
+    let mut d = Driver::new(params(), w, 8);
     // Empty channel: the job announces its own train after the listen
     // timeout (20 silent slots), then runs the slingshot.
     let mut became_leader = false;
     let mut beacons = 0;
     for _ in 0..(w - 1) {
         let a = d.step(|action| match action {
-            Action::Transmit(p) => Feedback::Success { src: 0, payload: *p },
+            Action::Transmit(p) => Feedback::Success {
+                src: 0,
+                payload: *p,
+            },
             _ => Feedback::Silent,
         });
         if let Action::Transmit(p) = a {
@@ -249,12 +258,15 @@ fn deposed_leader_hands_off_with_its_data() {
     // claim probability at w=400 is ~0.5% per election slot, so most
     // seeds never claim inside one window.
     let w = 400;
-    let mut d = Driver::new(params(), w, 4);
+    let mut d = Driver::new(params(), w, 8);
     // Let it become leader on an empty channel.
     let mut slots = 0;
     while !d.proto.is_leader() && slots < 300 {
         d.step(|action| match action {
-            Action::Transmit(p) => Feedback::Success { src: 0, payload: *p },
+            Action::Transmit(p) => Feedback::Success {
+                src: 0,
+                payload: *p,
+            },
             _ => Feedback::Silent,
         });
         slots += 1;
@@ -269,7 +281,10 @@ fn deposed_leader_hands_off_with_its_data() {
             // Election slots carry the rival's claim; leader's own
             // transmissions succeed.
             match action {
-                Action::Transmit(p) => Feedback::Success { src: 0, payload: *p },
+                Action::Transmit(p) => Feedback::Success {
+                    src: 0,
+                    payload: *p,
+                },
                 _ => Feedback::Success {
                     src: 42,
                     payload: PunctualMsg::Claim { remaining: 1 << 20 }.encode(),
@@ -281,7 +296,10 @@ fn deposed_leader_hands_off_with_its_data() {
             break;
         }
     }
-    assert!(handoff_seen, "deposed leader must hand off with its data message");
+    assert!(
+        handoff_seen,
+        "deposed leader must hand off with its data message"
+    );
     assert!(d.proto.has_succeeded(), "the handoff delivered its data");
 }
 
@@ -333,7 +351,10 @@ fn synchronizes_with_correct_phase_despite_preceding_anarchy_noise() {
                 }
                 .encode(),
             },
-            (_, Action::Transmit(p)) => Feedback::Success { src: 0, payload: *p },
+            (_, Action::Transmit(p)) => Feedback::Success {
+                src: 0,
+                payload: *p,
+            },
             _ => Feedback::Silent,
         });
         if let Action::Transmit(p) = a {

@@ -105,8 +105,7 @@ pub trait Protocol {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
     /// Hard cap on simulated slots (safety net against livelock). When
     /// `None`, the engine runs until the last deadline.
@@ -118,7 +117,6 @@ pub struct EngineConfig {
     /// case (Section 3); PUNCTUAL must run with this off.
     pub expose_aligned_clock: bool,
 }
-
 
 impl EngineConfig {
     /// Config for the aligned special case (shared clock exposed).
@@ -213,12 +211,8 @@ impl Engine {
 
     /// Run the simulation to completion and return the report.
     pub fn run(mut self) -> SimReport {
-        let horizon = self
-            .jobs
-            .iter()
-            .map(|j| j.spec.deadline)
-            .max()
-            .unwrap_or(0);
+        let started = std::time::Instant::now();
+        let horizon = self.jobs.iter().map(|j| j.spec.deadline).max().unwrap_or(0);
         // Running past the last deadline is pointless (all jobs retired), so
         // the horizon caps the configured limit rather than the reverse.
         let max_slots = match self.config.max_slots {
@@ -362,9 +356,9 @@ impl Engine {
                             src,
                             was_data: payload.is_data(),
                         },
-                        SlotView::Collision { n_tx } => SlotOutcome::Collision {
-                            n_tx: n_tx as u32,
-                        },
+                        SlotView::Collision { n_tx } => {
+                            SlotOutcome::Collision { n_tx: n_tx as u32 }
+                        }
                     }
                 };
                 trace.push(SlotRecord {
@@ -422,6 +416,7 @@ impl Engine {
             accesses,
             slot,
             self.seeds.master(),
+            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             trace,
         )
     }

@@ -182,24 +182,50 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default(), 1);
         e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(0)));
         let r = e.run();
-        assert!(render_gantt(&r, GanttOptions { from: 0, to: 4, max_jobs: 4 }).is_err());
+        assert!(render_gantt(
+            &r,
+            GanttOptions {
+                from: 0,
+                to: 4,
+                max_jobs: 4
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn empty_range_is_an_error() {
         let r = traced_report();
-        assert!(render_gantt(&r, GanttOptions { from: 5, to: 5, max_jobs: 4 }).is_err());
+        assert!(render_gantt(
+            &r,
+            GanttOptions {
+                from: 5,
+                to: 5,
+                max_jobs: 4
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn job_cap_is_reported() {
         let mut e = Engine::new(EngineConfig::default().with_trace(), 1);
         for i in 0..5 {
-            e.add_job(JobSpec::new(i, u64::from(i) * 10, u64::from(i) * 10 + 5),
-                Box::new(AtLocal(1)));
+            e.add_job(
+                JobSpec::new(i, u64::from(i) * 10, u64::from(i) * 10 + 5),
+                Box::new(AtLocal(1)),
+            );
         }
         let r = e.run();
-        let g = render_gantt(&r, GanttOptions { from: 0, to: 40, max_jobs: 2 }).unwrap();
+        let g = render_gantt(
+            &r,
+            GanttOptions {
+                from: 0,
+                to: 40,
+                max_jobs: 2,
+            },
+        )
+        .unwrap();
         assert!(g.contains("3 more jobs not shown"));
     }
 }

@@ -88,6 +88,11 @@ pub struct SimReport {
     pub slots_run: u64,
     /// The master seed used (for replay).
     pub seed: u64,
+    /// Wall-clock nanoseconds the engine spent in its slot loop. Volatile
+    /// across runs of identical code — exclude it from determinism
+    /// comparisons (everything else in the report is a pure function of
+    /// the instance and seed).
+    pub engine_nanos: u64,
     /// Full per-slot trace if `EngineConfig::record_trace` was set.
     pub trace: Option<Vec<SlotRecord>>,
 }
@@ -101,6 +106,7 @@ impl SimReport {
         accesses: Vec<AccessCounts>,
         slots_run: u64,
         seed: u64,
+        engine_nanos: u64,
         trace: Option<Vec<SlotRecord>>,
     ) -> Self {
         Self {
@@ -110,8 +116,18 @@ impl SimReport {
             accesses,
             slots_run,
             seed,
+            engine_nanos,
             trace,
         }
+    }
+
+    /// Engine slot throughput in slots per wall-clock second (0.0 when the
+    /// run was too fast to time).
+    pub fn slots_per_sec(&self) -> f64 {
+        if self.engine_nanos == 0 {
+            return 0.0;
+        }
+        self.slots_run as f64 / (self.engine_nanos as f64 / 1e9)
     }
 
     /// Outcome of job `id`. Panics if `id` was not simulated.
@@ -179,7 +195,10 @@ impl SimReport {
         if self.accesses.is_empty() {
             return f64::NAN;
         }
-        self.accesses.iter().map(|a| a.transmissions as f64).sum::<f64>()
+        self.accesses
+            .iter()
+            .map(|a| a.transmissions as f64)
+            .sum::<f64>()
             / self.accesses.len() as f64
     }
 
@@ -188,8 +207,7 @@ impl SimReport {
         if self.accesses.is_empty() {
             return f64::NAN;
         }
-        self.accesses.iter().map(|a| a.total() as f64).sum::<f64>()
-            / self.accesses.len() as f64
+        self.accesses.iter().map(|a| a.total() as f64).sum::<f64>() / self.accesses.len() as f64
     }
 }
 
@@ -219,12 +237,22 @@ mod tests {
                 data_success: 2,
             },
             vec![
-                AccessCounts { transmissions: 1, listens: 3 },
-                AccessCounts { transmissions: 8, listens: 0 },
-                AccessCounts { transmissions: 1, listens: 1 },
+                AccessCounts {
+                    transmissions: 1,
+                    listens: 3,
+                },
+                AccessCounts {
+                    transmissions: 8,
+                    listens: 0,
+                },
+                AccessCounts {
+                    transmissions: 1,
+                    listens: 1,
+                },
             ],
             8,
             42,
+            4_000,
             None,
         )
     }
@@ -258,9 +286,19 @@ mod tests {
 
     #[test]
     fn empty_instance_success_fraction_is_one() {
-        let r = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, None);
+        let r = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, 0, None);
         assert_eq!(r.success_fraction(), 1.0);
         assert!(r.mean_accesses().is_nan());
+    }
+
+    #[test]
+    fn slot_throughput() {
+        // 8 slots in 4000 ns -> 2e6 slots/s.
+        let r = report();
+        assert!((r.slots_per_sec() - 2e6).abs() < 1e-6);
+        // Untimed run reports zero rather than dividing by zero.
+        let z = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, 0, None);
+        assert_eq!(z.slots_per_sec(), 0.0);
     }
 
     #[test]

@@ -105,7 +105,10 @@ mod tests {
             StreamLabel::Misc,
         ] {
             for idx in 0..100 {
-                assert!(seen.insert(s.derive(label, idx)), "collision at {label:?}/{idx}");
+                assert!(
+                    seen.insert(s.derive(label, idx)),
+                    "collision at {label:?}/{idx}"
+                );
             }
         }
     }

@@ -9,6 +9,8 @@
 use crate::rng::SeedSeq;
 use parking_lot::Mutex;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// One trial's result paired with the trial index and its derived seed
 /// (so an interesting trial can be re-run in isolation).
@@ -31,6 +33,38 @@ fn worker_count(trials: u64) -> usize {
     hw.min(trials.max(1) as usize)
 }
 
+/// Timing instrumentation for one [`run_trials_with`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Wall-clock time of the whole batch (fan-out to join).
+    pub wall: Duration,
+    /// Trials executed.
+    pub trials: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl RunStats {
+    /// Mean wall-clock time per trial (zero for an empty batch).
+    pub fn per_trial(&self) -> Duration {
+        if self.trials == 0 {
+            Duration::ZERO
+        } else {
+            self.wall / self.trials.min(u64::from(u32::MAX)) as u32
+        }
+    }
+
+    /// Trial throughput in trials per second (0.0 for an instant batch).
+    pub fn trials_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.trials as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Run `trials` independent trials of `f` in parallel.
 ///
 /// `f` receives `(trial_index, trial_seed)` and must be deterministic given
@@ -48,9 +82,33 @@ where
     T: Send,
     F: Fn(u64, u64) -> T + Sync,
 {
+    run_trials_with(trials, master_seed, f, |_, _| {}).0
+}
+
+/// [`run_trials`] with instrumentation: returns batch [`RunStats`] and
+/// invokes `progress(completed, total)` after every finished trial.
+///
+/// `progress` is called from worker threads (hence `Sync`) with a
+/// monotonically growing completion count; it must be cheap and must not
+/// assume trial-index order. Timing covers the whole batch including
+/// thread fan-out and join, so `RunStats::wall` is an upper bound on the
+/// sum of per-trial compute divided by effective parallelism.
+pub fn run_trials_with<T, F, P>(
+    trials: u64,
+    master_seed: u64,
+    f: F,
+    progress: P,
+) -> (Vec<TrialOutcome<T>>, RunStats)
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+    P: Fn(u64, u64) + Sync,
+{
+    let started = Instant::now();
     let seeds = SeedSeq::new(master_seed);
     let results: Mutex<Vec<TrialOutcome<T>>> = Mutex::new(Vec::with_capacity(trials as usize));
-    let next: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let next = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
     let workers = worker_count(trials);
 
     crossbeam::scope(|scope| {
@@ -60,13 +118,15 @@ where
                 // very uneven durations (window sizes span decades), so
                 // static striping would leave threads idle.
                 loop {
-                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let trial = next.fetch_add(1, Ordering::Relaxed);
                     if trial >= trials {
                         break;
                     }
                     let seed = seeds.trial(trial).master();
                     let value = f(trial, seed);
                     results.lock().push(TrialOutcome { trial, seed, value });
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(done, trials);
                 }
             });
         }
@@ -75,7 +135,12 @@ where
 
     let mut out = results.into_inner();
     out.sort_by_key(|r| r.trial);
-    out
+    let stats = RunStats {
+        wall: started.elapsed(),
+        trials,
+        workers,
+    };
+    (out, stats)
 }
 
 /// Run trials and count how many satisfy `pred`. Returns `(hits, trials)`.
@@ -148,5 +213,54 @@ mod tests {
     fn zero_trials_is_empty() {
         let r = run_trials(0, 1, |_, _| ());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn instrumented_run_reports_stats_and_progress() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let max_seen = AtomicU64::new(0);
+        let calls = AtomicU64::new(0);
+        let (out, stats) = run_trials_with(
+            64,
+            5,
+            |t, _| t,
+            |done, total| {
+                assert_eq!(total, 64);
+                assert!(done >= 1 && done <= total);
+                max_seen.fetch_max(done, Ordering::Relaxed);
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert_eq!(stats.trials, 64);
+        assert!(stats.workers >= 1);
+        // Every trial reports completion exactly once, and the count
+        // reaches the total.
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert_eq!(max_seen.load(Ordering::Relaxed), 64);
+        // Wall-clock is nonzero (the batch did real work) and per-trial
+        // time is consistent with it.
+        assert!(stats.wall > Duration::ZERO);
+        assert!(stats.per_trial() <= stats.wall);
+    }
+
+    #[test]
+    fn instrumented_matches_plain_results() {
+        let f = |_t: u64, seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            rng.gen_range(0..1_000_000u64)
+        };
+        let plain: Vec<u64> = run_trials(50, 17, f).into_iter().map(|t| t.value).collect();
+        let (inst, _) = run_trials_with(50, 17, f, |_, _| {});
+        let inst: Vec<u64> = inst.into_iter().map(|t| t.value).collect();
+        assert_eq!(plain, inst);
+    }
+
+    #[test]
+    fn empty_batch_stats() {
+        let (out, stats) = run_trials_with(0, 1, |_, _| (), |_, _| {});
+        assert!(out.is_empty());
+        assert_eq!(stats.trials, 0);
+        assert_eq!(stats.per_trial(), Duration::ZERO);
     }
 }

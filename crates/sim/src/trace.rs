@@ -106,7 +106,13 @@ mod tests {
     fn tally_counts_each_kind() {
         let trace = vec![
             rec(0, SlotOutcome::Silent),
-            rec(1, SlotOutcome::Success { src: 1, was_data: true }),
+            rec(
+                1,
+                SlotOutcome::Success {
+                    src: 1,
+                    was_data: true,
+                },
+            ),
             rec(2, SlotOutcome::Collision { n_tx: 3 }),
             rec(3, SlotOutcome::Jammed { n_tx: 1 }),
             rec(4, SlotOutcome::Silent),
@@ -125,9 +131,18 @@ mod tests {
 
     #[test]
     fn data_success_detection() {
-        let mut r = rec(0, SlotOutcome::Success { src: 2, was_data: true });
+        let mut r = rec(
+            0,
+            SlotOutcome::Success {
+                src: 2,
+                was_data: true,
+            },
+        );
         assert!(r.is_data_success());
-        r.outcome = SlotOutcome::Success { src: 2, was_data: false };
+        r.outcome = SlotOutcome::Success {
+            src: 2,
+            was_data: false,
+        };
         assert!(!r.is_data_success());
     }
 }

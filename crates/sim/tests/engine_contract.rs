@@ -71,10 +71,7 @@ fn lifecycle_counts_and_local_time() {
     let mut e = Engine::new(EngineConfig::default(), 5);
     e.add_job(JobSpec::new(0, 3, 13), Box::new(probe));
     // A second job keeps the channel alive past job 0's window.
-    e.add_job(
-        JobSpec::new(1, 0, 20),
-        Box::new(Idle),
-    );
+    e.add_job(JobSpec::new(1, 0, 20), Box::new(Idle));
     let r = e.run();
     assert_eq!(activations.load(Ordering::Relaxed), 1, "one activation");
     // Window [3, 13): 10 acts.
@@ -111,8 +108,18 @@ fn transmitter_always_observes_its_slot() {
     let got0 = Arc::new(AtomicU64::new(0));
     let got1 = Arc::new(AtomicU64::new(0));
     let mut e = Engine::new(EngineConfig::default(), 5);
-    e.add_job(JobSpec::new(0, 0, 8), Box::new(TxProbe { got_feedback: got0.clone() }));
-    e.add_job(JobSpec::new(1, 0, 8), Box::new(TxProbe { got_feedback: got1.clone() }));
+    e.add_job(
+        JobSpec::new(0, 0, 8),
+        Box::new(TxProbe {
+            got_feedback: got0.clone(),
+        }),
+    );
+    e.add_job(
+        JobSpec::new(1, 0, 8),
+        Box::new(TxProbe {
+            got_feedback: got1.clone(),
+        }),
+    );
     let r = e.run();
     assert_eq!(got0.load(Ordering::Relaxed), 4);
     assert_eq!(got1.load(Ordering::Relaxed), 4);
@@ -150,7 +157,10 @@ fn is_done_retires_early_and_stops_callbacks() {
     }
     let calls = Arc::new(AtomicU64::new(0));
     let mut e = Engine::new(EngineConfig::default(), 1);
-    e.add_job(JobSpec::new(0, 0, 100), Box::new(QuitAfter(3, calls.clone())));
+    e.add_job(
+        JobSpec::new(0, 0, 100),
+        Box::new(QuitAfter(3, calls.clone())),
+    );
     e.add_job(JobSpec::new(1, 0, 10), Box::new(Idle));
     let r = e.run();
     assert_eq!(calls.load(Ordering::Relaxed), 4, "acts stop after is_done");

@@ -107,7 +107,10 @@ mod tests {
         let b = bootstrap_mean_ci(&xs, 3).unwrap();
         assert_eq!(a, b);
         let c = bootstrap_mean_ci(&xs, 4).unwrap();
-        assert!(a.lo != c.lo || a.hi != c.hi, "different seeds should differ");
+        assert!(
+            a.lo != c.lo || a.hi != c.hi,
+            "different seeds should differ"
+        );
     }
 
     #[test]
@@ -131,10 +134,12 @@ mod tests {
     #[test]
     fn wider_alpha_narrows_interval() {
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let wide = bootstrap_ci(&xs, 800, 0.01, 5, |s| s.iter().sum::<f64>() / s.len() as f64)
-            .unwrap();
-        let narrow = bootstrap_ci(&xs, 800, 0.5, 5, |s| s.iter().sum::<f64>() / s.len() as f64)
-            .unwrap();
+        let wide = bootstrap_ci(&xs, 800, 0.01, 5, |s| {
+            s.iter().sum::<f64>() / s.len() as f64
+        })
+        .unwrap();
+        let narrow =
+            bootstrap_ci(&xs, 800, 0.5, 5, |s| s.iter().sum::<f64>() / s.len() as f64).unwrap();
         assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
     }
 }

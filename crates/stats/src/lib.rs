@@ -1,10 +1,11 @@
 //! # dcr-stats — statistics for Monte-Carlo experiments
 //!
-//! Small, dependency-free statistical helpers used by the experiment
-//! harness: running summaries, binomial proportion confidence intervals
-//! (Wilson score), histograms and quantiles, ordinary least squares on
-//! log–log data (for measuring polynomial failure-probability decay), and
-//! ASCII/CSV table rendering.
+//! Small statistical helpers used by the experiment harness: running
+//! summaries, binomial proportion confidence intervals (Wilson score),
+//! histograms and quantiles, ordinary least squares on log–log data (for
+//! measuring polynomial failure-probability decay), ASCII/CSV table
+//! rendering, and the structured [`ExperimentReport`] artifact schema
+//! (JSON-archivable measurements with timing and provenance).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -13,6 +14,7 @@ pub mod binomial;
 pub mod bootstrap;
 pub mod histogram;
 pub mod regression;
+pub mod report;
 pub mod summary;
 pub mod table;
 
@@ -20,5 +22,6 @@ pub use binomial::Proportion;
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
 pub use histogram::{quantile, Histogram};
 pub use regression::{linear_fit, loglog_slope, LinearFit};
+pub use report::{CheckResult, ExperimentReport, MetricRow, Param, Provenance, Timing};
 pub use summary::Summary;
 pub use table::Table;

@@ -34,10 +34,7 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     if sxx == 0.0 {
         return None;
     }
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
@@ -73,11 +70,7 @@ pub fn loglog_slope(points: &[(f64, f64)], floor_y: Option<f64>) -> Option<Linea
             if x <= 0.0 {
                 return None;
             }
-            let y = if y > 0.0 {
-                y
-            } else {
-                floor_y?
-            };
+            let y = if y > 0.0 { y } else { floor_y? };
             Some((x.ln(), y.ln()))
         })
         .collect();

@@ -227,7 +227,13 @@ mod tests {
         // Windows of a million slots each, far apart: event-driven sweep
         // must not iterate slot by slot.
         let jobs: Vec<_> = (0..1000u32)
-            .map(|i| j(i, u64::from(i) * 10_000_000, u64::from(i) * 10_000_000 + 1_000_000))
+            .map(|i| {
+                j(
+                    i,
+                    u64::from(i) * 10_000_000,
+                    u64::from(i) * 10_000_000 + 1_000_000,
+                )
+            })
             .collect();
         assert!(edf_feasible(&jobs, 1000));
     }

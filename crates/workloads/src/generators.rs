@@ -58,7 +58,10 @@ pub fn aligned_classes(
     let mut jobs = Vec::new();
     for spec in classes {
         let w = 1u64 << spec.class;
-        assert!(horizon.is_multiple_of(w), "horizon must be a multiple of each class size");
+        assert!(
+            horizon.is_multiple_of(w),
+            "horizon must be a multiple of each class size"
+        );
         let mut start = 0;
         while start < horizon {
             let count = match rng.as_deref_mut() {
@@ -89,12 +92,7 @@ pub fn aligned_classes(
 /// `1/rate`, window sizes drawn uniformly from `window_choices`, releases
 /// *not* aligned. The result is usually not feasibility-certified; pass it
 /// through [`thin_to_feasible`].
-pub fn poisson(
-    rate: f64,
-    horizon: u64,
-    window_choices: &[u64],
-    rng: &mut ChaCha8Rng,
-) -> Instance {
+pub fn poisson(rate: f64, horizon: u64, window_choices: &[u64], rng: &mut ChaCha8Rng) -> Instance {
     assert!(rate > 0.0 && rate <= 1.0, "rate is jobs per slot in (0,1]");
     assert!(!window_choices.is_empty());
     let mut jobs = Vec::new();
@@ -170,7 +168,10 @@ pub fn random_unaligned(
             JobSpec::new(0, r, r + w)
         })
         .collect();
-    Instance::new(format!("random(n={n},h={horizon},w={w_min}..={w_max})"), jobs)
+    Instance::new(
+        format!("random(n={n},h={horizon},w={w_min}..={w_max})"),
+        jobs,
+    )
 }
 
 /// Greedily admit jobs while a `⌈1/γ⌉`-inflated schedule certificate can be
@@ -246,8 +247,14 @@ mod tests {
         // class-4 job + nested share — verify with the exact checker.
         let inst = aligned_classes(
             &[
-                ClassSpec { class: 4, jobs_per_window: 1 },
-                ClassSpec { class: 6, jobs_per_window: 1 },
+                ClassSpec {
+                    class: 4,
+                    jobs_per_window: 1,
+                },
+                ClassSpec {
+                    class: 6,
+                    jobs_per_window: 1,
+                },
             ],
             256,
             None,
@@ -261,7 +268,10 @@ mod tests {
     fn aligned_classes_jitter_stays_positive() {
         let mut r = rng();
         let inst = aligned_classes(
-            &[ClassSpec { class: 3, jobs_per_window: 4 }],
+            &[ClassSpec {
+                class: 3,
+                jobs_per_window: 4,
+            }],
             64,
             Some(&mut r),
         );

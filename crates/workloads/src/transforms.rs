@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn instance_transforms_preserve_job_count() {
-        let inst = Instance::new(
-            "x",
-            vec![JobSpec::new(0, 3, 11), JobSpec::new(1, 0, 100)],
-        );
+        let inst = Instance::new("x", vec![JobSpec::new(0, 3, 11), JobSpec::new(1, 0, 100)]);
         assert_eq!(trimmed(&inst).n(), 2);
         assert!(trimmed(&inst).is_aligned());
         assert_eq!(rounded_pow2(&inst).n(), 2);

@@ -1,0 +1,74 @@
+//! Structured experiment artifacts: run one experiment programmatically,
+//! inspect its machine-readable report, and archive it as JSON — the same
+//! artifact `experiments --json DIR` writes to `DIR/<id>.json`.
+//!
+//! ```sh
+//! cargo run --release --example json_artifacts
+//! ```
+
+use dcr_bench::{run_experiment_report, ExpConfig};
+
+fn main() {
+    // Quick mode keeps this example fast; the seed makes it replayable.
+    let cfg = ExpConfig::quick();
+    let out = run_experiment_report("e1", &cfg).expect("e1 is a known experiment id");
+
+    // The human-readable table the harness always produced...
+    println!("{}", out.text);
+
+    // ...and the structured artifact carrying the same numbers.
+    let report = &out.report;
+    println!("experiment      : {} — {}", report.experiment, report.title);
+    println!(
+        "seed            : {:#x} (quick={})",
+        report.seed, report.quick
+    );
+    for p in &report.params {
+        println!("param           : {} = {}", p.name, p.value);
+    }
+    for c in &report.checks {
+        println!(
+            "check           : {} -> {} ({})",
+            c.name,
+            if c.passed { "pass" } else { "FAIL" },
+            c.detail
+        );
+    }
+    println!(
+        "timing          : {:.2}s wall, {} slots simulated, {:.0} slots/sec",
+        report.timing.wall_secs, report.timing.slots_simulated, report.timing.slots_per_sec
+    );
+    println!(
+        "provenance      : git {} rustc {} ({} threads)",
+        report.provenance.git_rev.as_deref().unwrap_or("?"),
+        report.provenance.rustc_version.as_deref().unwrap_or("?"),
+        report.provenance.threads
+    );
+
+    // Individual cells are addressable: the measured success probability
+    // at contention C=1 with its Wilson 95% interval.
+    if let Some(row) = report.row("C=1", "p_success") {
+        println!(
+            "p_success @ C=1 : {:.4} [{:.4}, {:.4}] over {} slots",
+            row.value,
+            row.ci_lo.unwrap_or(f64::NAN),
+            row.ci_hi.unwrap_or(f64::NAN),
+            row.n.unwrap_or(0)
+        );
+    }
+
+    // Archive: the full artifact (with timing + provenance) for records,
+    // the deterministic view (volatile fields stripped) for diffing runs.
+    let full = serde_json::to_string_pretty(report).expect("serialize");
+    let stable = serde_json::to_string_pretty(&report.deterministic_view()).expect("serialize");
+    println!(
+        "\nJSON sizes      : {} bytes full, {} bytes deterministic view",
+        full.len(),
+        stable.len()
+    );
+    assert!(
+        report.all_checks_passed(),
+        "e1's Lemma 2 sandwich must hold"
+    );
+    println!("all checks passed ✓");
+}

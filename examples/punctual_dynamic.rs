@@ -16,10 +16,7 @@ use contention_deadlines::workloads::generators::{poisson, thin_to_feasible};
 use contention_deadlines::workloads::Instance;
 
 fn make_traffic(seed: u64) -> Instance {
-    let mut rng = SeedSeq::new(seed).rng(
-        contention_deadlines::sim::rng::StreamLabel::Workload,
-        0,
-    );
+    let mut rng = SeedSeq::new(seed).rng(contention_deadlines::sim::rng::StreamLabel::Workload, 0);
     let raw = poisson(0.02, 1 << 16, &[1 << 12, 1 << 14], &mut rng);
     thin_to_feasible(raw, 1.0 / 16.0)
 }

@@ -38,22 +38,32 @@ fn main() {
     // period and the first start pairs of the round train.
     println!("--- slots 0..120: synchronization and the first rounds ---");
     println!("    (x = collision — the start pairs; S = success — beacons/claims)");
-    match render_gantt(&report, GanttOptions { from: 0, to: 120, max_jobs: 4 }) {
+    match render_gantt(
+        &report,
+        GanttOptions {
+            from: 0,
+            to: 120,
+            max_jobs: 4,
+        },
+    ) {
         Ok(g) => println!("{g}"),
         Err(e) => println!("({e})"),
     }
 
     // Phase 2: around the first data delivery.
-    if let Some(first) = report
-        .per_job()
-        .filter_map(|(_, o)| o.slot())
-        .min()
-    {
+    if let Some(first) = report.per_job().filter_map(|(_, o)| o.slot()).min() {
         let from = first.saturating_sub(40);
-        println!("--- slots {from}..{}: around the first delivery (D) ---", from + 120);
+        println!(
+            "--- slots {from}..{}: around the first delivery (D) ---",
+            from + 120
+        );
         match render_gantt(
             &report,
-            GanttOptions { from, to: from + 120, max_jobs: 4 },
+            GanttOptions {
+                from,
+                to: from + 120,
+                max_jobs: 4,
+            },
         ) {
             Ok(g) => println!("{g}"),
             Err(e) => println!("({e})"),

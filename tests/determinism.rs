@@ -1,0 +1,76 @@
+//! Determinism of the experiment harness: the same `--seed` must
+//! reproduce the same measurements.
+//!
+//! Two runs of an experiment with an identical `ExpConfig` must produce
+//! byte-identical text reports and structurally equal JSON artifacts —
+//! after stripping the volatile fields (wall-clock timing, provenance)
+//! via [`ExperimentReport::deterministic_view`].
+//!
+//! e5 covers the purely arithmetic path; e1 covers the Monte-Carlo path
+//! through the engine, the runner's work-stealing thread pool (whose
+//! scheduling order must not leak into results), and the seed-derivation
+//! plumbing.
+//!
+//! [`ExperimentReport::deterministic_view`]: dcr_stats::ExperimentReport::deterministic_view
+
+use dcr_bench::{run_experiment_report, ExpConfig};
+
+fn assert_deterministic(id: &str) {
+    let cfg = ExpConfig::quick();
+    let a = run_experiment_report(id, &cfg).expect("known experiment id");
+    let b = run_experiment_report(id, &cfg).expect("known experiment id");
+
+    assert_eq!(a.text, b.text, "{id}: text reports must be byte-identical");
+
+    let da = a.report.deterministic_view();
+    let db = b.report.deterministic_view();
+    assert_eq!(da, db, "{id}: deterministic views must be equal");
+
+    // The JSON encodings of the deterministic views agree too — what a
+    // downstream diff of two artifact directories would compare.
+    let ja = serde_json::to_string_pretty(&da).unwrap();
+    let jb = serde_json::to_string_pretty(&db).unwrap();
+    assert_eq!(ja, jb, "{id}: deterministic JSON must be identical");
+}
+
+#[test]
+fn e5_is_deterministic() {
+    assert_deterministic("e5");
+}
+
+#[test]
+fn e1_is_deterministic() {
+    assert_deterministic("e1");
+}
+
+#[test]
+fn different_seeds_change_monte_carlo_results() {
+    let a = run_experiment_report("e1", &ExpConfig::quick()).unwrap();
+    let other = ExpConfig {
+        seed: 0xDEAD_BEEF,
+        ..ExpConfig::quick()
+    };
+    let b = run_experiment_report("e1", &other).unwrap();
+    assert_ne!(
+        a.report.deterministic_view(),
+        b.report.deterministic_view(),
+        "a different seed must change the measured values"
+    );
+}
+
+#[test]
+fn volatile_fields_do_not_affect_deterministic_view() {
+    let cfg = ExpConfig::quick();
+    let r = run_experiment_report("e5", &cfg).unwrap().report;
+    // The raw report carries volatile wall-clock timing...
+    assert!(r.timing.wall_secs >= 0.0);
+    // ...which the deterministic view zeroes out along with provenance.
+    let d = r.deterministic_view();
+    assert_eq!(d.timing, dcr_stats::Timing::default());
+    assert_eq!(d.provenance, dcr_stats::Provenance::default());
+    // Everything that encodes measurements survives.
+    assert_eq!(d.rows, r.rows);
+    assert_eq!(d.checks, r.checks);
+    assert_eq!(d.params, r.params);
+    assert_eq!(d.seed, r.seed);
+}

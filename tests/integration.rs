@@ -22,8 +22,14 @@ fn aligned_pipeline_generator_to_stats() {
     let params = AlignedParams::new(1, 2, 9);
     let instance = aligned_classes(
         &[
-            ClassSpec { class: 9, jobs_per_window: 2 },
-            ClassSpec { class: 11, jobs_per_window: 4 },
+            ClassSpec {
+                class: 9,
+                jobs_per_window: 2,
+            },
+            ClassSpec {
+                class: 11,
+                jobs_per_window: 4,
+            },
         ],
         1 << 12,
         None,
@@ -44,10 +50,7 @@ fn aligned_pipeline_generator_to_stats() {
 
 #[test]
 fn punctual_pipeline_on_dynamic_traffic() {
-    let mut rng = SeedSeq::new(3).rng(
-        contention_deadlines::sim::rng::StreamLabel::Workload,
-        0,
-    );
+    let mut rng = SeedSeq::new(3).rng(contention_deadlines::sim::rng::StreamLabel::Workload, 0);
     let raw = poisson(0.01, 1 << 15, &[1 << 13], &mut rng);
     let instance = thin_to_feasible(raw, 1.0 / 16.0);
     assert!(instance.n() > 5, "need some traffic, got {}", instance.n());
@@ -146,9 +149,10 @@ fn all_protocols_run_the_same_batch_without_panic() {
     let instance = batch(12, 1 << 12);
     type Factory = Box<dyn FnMut(&JobSpec) -> Box<dyn Protocol>>;
     let factories: Vec<(&str, Factory)> = vec![
-        ("uniform", Box::new(|_: &JobSpec| {
-            Box::new(Uniform::single()) as Box<dyn Protocol>
-        })),
+        (
+            "uniform",
+            Box::new(|_: &JobSpec| Box::new(Uniform::single()) as Box<dyn Protocol>),
+        ),
         ("beb", Box::new(BinaryExponentialBackoff::factory(1024))),
         ("sawtooth", Box::new(Sawtooth::factory())),
         (
@@ -197,8 +201,14 @@ fn clocked_equals_aligned_on_aligned_instances() {
     let params = AlignedParams::new(1, 2, 9);
     let instance = aligned_classes(
         &[
-            ClassSpec { class: 9, jobs_per_window: 3 },
-            ClassSpec { class: 10, jobs_per_window: 2 },
+            ClassSpec {
+                class: 9,
+                jobs_per_window: 3,
+            },
+            ClassSpec {
+                class: 10,
+                jobs_per_window: 2,
+            },
         ],
         1 << 11,
         None,
@@ -211,7 +221,10 @@ fn clocked_equals_aligned_on_aligned_instances() {
         let mut c = Engine::new(EngineConfig::aligned(), seed);
         c.add_jobs(
             &instance.jobs,
-            ClockedProtocol::factory(ClockedParams { aligned: params, lambda: 4 }),
+            ClockedProtocol::factory(ClockedParams {
+                aligned: params,
+                lambda: 4,
+            }),
         );
         let rc = c.run();
 

@@ -154,3 +154,68 @@ proptest! {
         }
     }
 }
+
+/// Pinned replay of the shrunk case in `properties.proptest-regressions`
+/// (`jobs = [JobSpec { id: 0, release: 1, deadline: 2 }], p = 1, seed = 0`):
+/// a single-slot window at an odd release is the tightest exercise of the
+/// engine's activation / fast-forward / retirement boundaries. The property
+/// is replayed deterministically (and across a seed sweep, so the job both
+/// does and does not transmit) regardless of the proptest implementation in
+/// use, which may not read the regression file.
+#[test]
+fn regression_engine_conservation_unit_window() {
+    use contention_deadlines::baselines::FixedProbability;
+
+    for seed in 0..256u64 {
+        let jobs = vec![JobSpec::new(0, 1, 2)];
+        let instance = Instance::new("regression", jobs);
+        let mut engine = Engine::new(EngineConfig::default().with_trace(), seed);
+        engine.add_jobs(&instance.jobs, FixedProbability::factory(0.01));
+        let report = engine.run();
+
+        assert_eq!(
+            report.counts.total(),
+            report.slots_run,
+            "seed {seed}: every slot accounted exactly once"
+        );
+        assert!(report.counts.data_success <= report.counts.success);
+        for (spec, outcome) in report.per_job() {
+            if let Some(slot) = outcome.slot() {
+                assert!(
+                    spec.contains(slot),
+                    "seed {seed}: {spec:?} delivered at {slot}"
+                );
+            }
+        }
+        let tally = contention_deadlines::sim::trace::tally(report.trace.as_ref().unwrap());
+        assert_eq!(tally.success, report.counts.success);
+        assert_eq!(tally.silent, report.counts.silent);
+        assert_eq!(tally.collision, report.counts.collision);
+    }
+}
+
+/// The w = 1 corner of the window-transform / feasibility theory, pinned
+/// alongside the engine regression: single-slot windows must survive
+/// trimming (identity), power-of-2 rounding (identity), and feasibility
+/// checks (feasible alone at unit length, infeasible at length 2).
+#[test]
+fn regression_unit_window_transforms_and_feasibility() {
+    let j = JobSpec::new(0, 1, 2);
+    assert_eq!(j.window(), 1);
+    assert!(j.contains(1));
+    assert!(!j.contains(2));
+
+    assert_eq!(trimmed_window(1, 2), (1, 2));
+    assert_eq!(trim_virtual(1, 2), Some((1, 2)));
+    let rounded = round_window_pow2(&j);
+    assert_eq!((rounded.release, rounded.deadline), (1, 2));
+
+    assert!(edf_feasible(&[j], 1));
+    assert!(hall_feasible(&[j], 1));
+    assert!(!edf_feasible(&[j], 2));
+    assert!(!hall_feasible(&[j], 2));
+    // Two unit-window jobs on the same slot cannot both be scheduled.
+    let clash = [j, JobSpec::new(1, 1, 2)];
+    assert!(!edf_feasible(&clash, 1));
+    assert!(!hall_feasible(&clash, 1));
+}

@@ -101,6 +101,76 @@ fn jam_policy_roundtrips() {
 }
 
 #[test]
+fn experiment_report_roundtrips() {
+    use dcr_stats::{CheckResult, ExperimentReport, MetricRow, Param, Provenance, Timing};
+    let report = ExperimentReport {
+        schema_version: dcr_stats::report::SCHEMA_VERSION,
+        experiment: "e1".into(),
+        title: "demo".into(),
+        seed: 0x5eed_2020,
+        quick: true,
+        params: vec![Param {
+            name: "slots".into(),
+            value: "4000".into(),
+        }],
+        rows: vec![
+            MetricRow {
+                cell: "C=1".into(),
+                metric: "p_success".into(),
+                value: 0.37,
+                ci_lo: Some(0.35),
+                ci_hi: Some(0.39),
+                n: Some(4000),
+            },
+            MetricRow {
+                cell: "C=1".into(),
+                metric: "bound_lo".into(),
+                value: 0.135,
+                ci_lo: None,
+                ci_hi: None,
+                n: None,
+            },
+        ],
+        checks: vec![CheckResult {
+            name: "lemma2_sandwich".into(),
+            passed: true,
+            detail: "violations 0/11".into(),
+        }],
+        timing: Timing {
+            wall_secs: 1.5,
+            trials: 60,
+            secs_per_trial: 0.025,
+            slots_simulated: 44_000,
+            slots_per_sec: 29_333.3,
+        },
+        provenance: Provenance {
+            git_rev: Some("abc123".into()),
+            git_dirty: Some(false),
+            rustc_version: Some("rustc 1.75.0".into()),
+            threads: 8,
+        },
+    };
+    assert_eq!(roundtrip(&report), report);
+}
+
+#[test]
+fn live_experiment_artifact_roundtrips_and_has_provenance() {
+    // A real artifact from the harness: serialization is lossless and the
+    // provenance block is populated in-process (rustc/git are best-effort
+    // but thread count is always known).
+    let out =
+        dcr_bench::run_experiment_report("e5", &dcr_bench::ExpConfig::quick()).expect("e5 exists");
+    let report = out.report;
+    assert_eq!(roundtrip(&report), report);
+    assert!(report.provenance.threads >= 1);
+    assert!(report.timing.wall_secs >= 0.0);
+    assert!(report.timing.slots_simulated == 0 || report.timing.slots_per_sec > 0.0);
+    // The deterministic view round-trips too (the form archived for diffs).
+    let view = report.deterministic_view();
+    assert_eq!(roundtrip(&view), view);
+}
+
+#[test]
 fn windowed_schedule_roundtrips() {
     use contention_deadlines::baselines::Schedule;
     for s in [

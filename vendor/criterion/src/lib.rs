@@ -1,0 +1,283 @@
+//! Offline mini benchmark harness, API-compatible with the `criterion`
+//! subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Throughput`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed over
+//! adaptive batches until ~200 ms of samples (capped by `sample_size`)
+//! have been collected; mean and min per-iteration times are printed,
+//! plus derived throughput when declared. No statistical analysis, plots,
+//! or baseline persistence — this is a smoke-measure harness, not a
+//! statistics engine; the workspace's structured perf trajectory comes
+//! from the experiment harness's JSON artifacts instead.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per benchmark iteration, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (plain strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, collecting per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also primes caches/allocator).
+        black_box(f());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        while self.samples.len() < self.target_samples && started.elapsed() < budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let n = samples.len().max(1) as u32;
+    let total: Duration = samples.iter().sum();
+    let mean = total / n;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let mut line = format!(
+        "{id:<40} mean {:>10}  min {:>10}  ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(e) => {
+                    line.push_str(&format!("  {:.3} Melem/s", e as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(b) => {
+                    line.push_str(&format!(
+                        "  {:.3} MiB/s",
+                        b as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Cap the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            samples: &mut samples,
+            target_samples: self.sample_size,
+        });
+        report(&full, &samples, self.throughput);
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let mut samples = Vec::new();
+        f(
+            &mut Bencher {
+                samples: &mut samples,
+                target_samples: self.sample_size,
+            },
+            input,
+        );
+        report(&full, &samples, self.throughput);
+    }
+
+    /// Finish the group (upstream computes summaries here; we do nothing).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            20
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            samples: &mut samples,
+            target_samples: 20,
+        });
+        report(&id.into_id(), &samples, None);
+    }
+
+    /// Parse CLI options (accepted and ignored for compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(runs >= 3, "warmup + samples should run the closure");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).contains("ms"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline subset of `crossbeam`: scoped threads.
+//!
+//! Backed by `std::thread::scope` (stable since Rust 1.63), wrapped to
+//! match crossbeam's signature: the closure receives a [`Scope`] handle
+//! whose `spawn` passes the scope to the child (crossbeam's nested-spawn
+//! convention), and the top-level call returns `Err` instead of
+//! propagating a child panic.
+
+#![deny(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of a scoped computation: `Err` carries a child thread's panic
+/// payload.
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// Handle for spawning threads inside a scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope so
+    /// it can spawn further threads, mirroring crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Create a scope in which spawned threads may borrow from the enclosing
+/// stack frame. All threads are joined before `scope` returns; if any
+/// child panicked, the first payload is returned as `Err`.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias, matching the upstream layout.
+pub mod thread {
+    pub use crate::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn threads_share_borrowed_state() {
+        let counter = AtomicU64::new(0);
+        let r = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let r = scope(|_| 17u32);
+        assert_eq!(r.unwrap(), 17);
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline ChaCha-based RNGs implementing the vendored `rand` traits.
+//!
+//! A genuine ChaCha implementation (D. J. Bernstein's stream cipher run as
+//! a CSPRNG): 16-word state of constants / 256-bit key / 64-bit block
+//! counter / 64-bit nonce, with the standard quarter-round permutation.
+//! [`ChaCha8Rng`], [`ChaCha12Rng`] and [`ChaCha20Rng`] differ only in the
+//! number of rounds. Output need not match upstream `rand_chacha`
+//! bit-for-bit (nothing in this workspace depends on upstream streams);
+//! what matters is that it is a high-quality, deterministic, seedable
+//! generator.
+
+#![forbid(unsafe_code)]
+
+pub use rand as rand_core_crate;
+
+/// Re-export of the core traits under the path `rand_chacha::rand_core`,
+/// which upstream exposes for no-`rand` users.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: permute `input` for `rounds` rounds and add back.
+fn chacha_block(input: &[u32; 16], rounds: u32, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            state: [u32; 16],
+            buffer: [u32; 16],
+            /// Next unread word in `buffer`; 16 means "refill".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                chacha_block(&self.state, $rounds, &mut self.buffer);
+                // 64-bit block counter in words 12..14.
+                let counter =
+                    (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+                self.state[12] = counter as u32;
+                self.state[13] = (counter >> 32) as u32;
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONST);
+                for i in 0..8 {
+                    state[4 + i] = u32::from_le_bytes([
+                        seed[4 * i],
+                        seed[4 * i + 1],
+                        seed[4 * i + 2],
+                        seed[4 * i + 3],
+                    ]);
+                }
+                // counter = 0 (words 12-13), nonce = 0 (words 14-15).
+                Self {
+                    state,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                hi << 32 | lo
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(4) {
+                    let word = self.next_u32().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&word[..n]);
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds — the workspace's workhorse RNG."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn rfc7539_chacha20_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CHACHA_CONST);
+        for (i, w) in input[4..12].iter_mut().enumerate() {
+            let b = (4 * i) as u32;
+            *w = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        input[12] = 1;
+        input[13] = 0x09000000;
+        input[14] = 0x4a000000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(out[0], 0xe4e7f110);
+        assert_eq!(out[15], 0x4e3c50a2);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0..8usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

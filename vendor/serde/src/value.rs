@@ -1,0 +1,240 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON number. Integers keep their exact 64-bit representation so that
+/// `u64` seeds and slot counts round-trip losslessly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy conversion to f64.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::U(n) => *n as f64,
+            Number::I(n) => *n as f64,
+            Number::F(x) => *x,
+        }
+    }
+
+    /// Exact u64 value, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::U(n) => Some(*n),
+            Number::I(n) => u64::try_from(*n).ok(),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// A JSON value tree. Object keys keep insertion order, so rendering a
+/// derive-generated value produces fields in declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered map.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name for the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as u64, if exact.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object payload.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True if `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders compact JSON (delegating the escaping rules used by
+    /// `serde_json::to_string`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_json(self, f)
+    }
+}
+
+fn write_json(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(Number::U(n)) => write!(f, "{n}"),
+        Value::Number(Number::I(n)) => write!(f, "{n}"),
+        Value::Number(Number::F(x)) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            } else {
+                // serde_json renders non-finite floats as null.
+                f.write_str("null")
+            }
+        }
+        Value::String(s) => write_escaped(s, f),
+        Value::Array(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_json(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(pairs) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(k, f)?;
+                f.write_str(":")?;
+                write_json(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+/// Write a JSON string literal with standard escaping.
+pub(crate) fn write_escaped(s: &str, f: &mut impl fmt::Write) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_compact_json() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Number(Number::U(3))),
+            ("name".into(), Value::String("a\"b".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"id":3,"name":"a\"b","xs":[null,true]}"#);
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(Value::Number(Number::F(1.5)).to_string(), "1.5");
+        assert_eq!(Value::Number(Number::F(2.0)).to_string(), "2.0");
+        assert_eq!(Value::Number(Number::F(f64::NAN)).to_string(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![("k".into(), Value::Number(Number::U(9)))]);
+        assert_eq!(v.get("k").and_then(Value::as_u64), Some(9));
+        assert!(v.get("nope").is_none());
+        assert_eq!(v.kind(), "object");
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser extracts just what codegen
+//! needs — type name, field names, variant shapes — and the generators
+//! emit Rust source as strings, reparsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields, tuple structs (newtype and n-ary), unit
+//!   structs;
+//! - enums with unit, newtype/tuple, and struct variants.
+//!
+//! Unsupported (fails with a compile error rather than silently
+//! miscompiling): generic type parameters.
+//!
+//! JSON data model matches real serde: structs → objects, unit variants →
+//! strings, newtype variants → `{"Variant": value}`, tuple variants →
+//! `{"Variant": [..]}`, struct variants → `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a type definition.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    Struct(Vec<String>),
+    /// `struct S(A, B);` — arity only.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a field-list token stream on top-level commas (angle-bracket
+/// depth tracked manually; (), [], {} arrive as atomic groups).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parse `name: Type` pieces from a braced field list, returning names.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    for piece in split_top_level_commas(&tokens) {
+        let i = skip_attrs_and_vis(&piece, 0);
+        match piece.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Count the fields of a parenthesized tuple field list.
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics (type {name})"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                shape: Shape::Struct(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Parsed {
+                name,
+                shape: Shape::TupleStruct(parse_tuple_arity(g)),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Parsed {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                let vname = match body_tokens.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => break,
+                    Some(other) => return Err(format!("unexpected token in enum: {other}")),
+                };
+                j += 1;
+                let kind = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        VariantKind::Tuple(parse_tuple_arity(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantKind::Struct(parse_named_fields(g)?)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = body_tokens.get(j) {
+                    if p.as_char() == '=' {
+                        return Err(format!(
+                            "explicit discriminants not supported (variant {vname})"
+                        ));
+                    }
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            Ok(Parsed {
+                name,
+                shape: Shape::Enum(variants),
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let bs = binders(*n);
+                            let items: Vec<String> = bs
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Array(::std::vec![{}]))])",
+                                bs.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pats = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {pats} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(::std::vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(__v, {f:?})?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => gen_tuple_from_array(name, *n, "__v", name),
+        Shape::UnitStruct => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"expected null for unit struct {name}, got {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__val)?)),"
+                        )),
+                        VariantKind::Tuple(n) => Some(format!(
+                            "{vname:?} => {},",
+                            gen_tuple_from_array(&format!("{name}::{vname}"), *n, "__val", name)
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::field(__val, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown unit variant `{{}}` for {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __val) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Construct `ctor(items[0], items[1], ...)` from an array value expr.
+fn gen_tuple_from_array(ctor: &str, arity: usize, value_expr: &str, type_name: &str) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+        .collect();
+    format!(
+        "match {value_expr} {{\n\
+             ::serde::Value::Array(__items) if __items.len() == {arity} => ::std::result::Result::Ok({ctor}({})),\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\"expected {arity}-element array for {type_name}, got {{}}\", __other.kind()))),\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize` (vendored value-tree flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize` (vendored value-tree flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
