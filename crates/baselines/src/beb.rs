@@ -15,12 +15,16 @@ use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
 
 /// The BEB protocol for one job.
+///
+/// The retry slot is drawn the moment a collision is reported, so the job
+/// knows its next attempt in advance and `next_wake` lets the engine sleep
+/// it through the backoff gap.
 #[derive(Debug, Clone)]
 pub struct BinaryExponentialBackoff {
     /// Number of failed attempts so far.
     attempts: u32,
-    /// Slots to wait before the next attempt.
-    countdown: u64,
+    /// Local slot of the next transmission attempt.
+    next_tx: u64,
     /// Cap on the backoff window (802.11 uses 1024; `u64::MAX/2` ≈ none).
     cap: u64,
     transmitted_this_slot: bool,
@@ -33,7 +37,7 @@ impl BinaryExponentialBackoff {
         assert!(cap.is_power_of_two());
         Self {
             attempts: 0,
-            countdown: 0,
+            next_tx: 0,
             cap,
             transmitted_this_slot: false,
             succeeded: false,
@@ -71,13 +75,9 @@ impl Default for BinaryExponentialBackoff {
 impl Protocol for BinaryExponentialBackoff {
     fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
         self.transmitted_this_slot = false;
-        if self.succeeded {
-            return Action::Sleep;
-        }
-        if self.countdown > 0 {
+        if self.succeeded || ctx.local_time < self.next_tx {
             // BEB reacts only to its own collisions; it sleeps through the
-            // backoff countdown (no carrier sensing in this model).
-            self.countdown -= 1;
+            // backoff gap (no carrier sensing in this model).
             return Action::Sleep;
         }
         self.transmitted_this_slot = true;
@@ -93,10 +93,11 @@ impl Protocol for BinaryExponentialBackoff {
                 self.succeeded = true;
             }
             _ => {
-                // Collision (or jam): back off.
+                // Collision (or jam): back off. Draw the retry delay now so
+                // the next attempt slot is known in advance.
                 self.attempts += 1;
                 let w = self.window();
-                self.countdown = rng.gen_range(0..w);
+                self.next_tx = ctx.local_time + 1 + rng.gen_range(0..w);
             }
         }
     }
@@ -110,10 +111,22 @@ impl Protocol for BinaryExponentialBackoff {
         // current backoff window.
         if self.succeeded {
             Some(0.0)
-        } else if self.countdown == 0 && self.attempts == 0 {
+        } else if self.attempts == 0 {
             Some(1.0)
         } else {
             Some(1.0 / self.window() as f64)
+        }
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        if self.succeeded {
+            Some(u64::MAX)
+        } else if self.next_tx > ctx.local_time {
+            Some(self.next_tx)
+        } else {
+            // An attempt is due this slot or just happened; its feedback
+            // (and any re-draw) lands before the next poll.
+            Some(ctx.local_time + 1)
         }
     }
 }

@@ -15,16 +15,20 @@ use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
 
 /// The sawtooth backoff protocol for one job.
+///
+/// Each window's attempt slot is drawn when the window is entered, so the
+/// window is known in advance and `next_wake` lets the engine sleep the job
+/// to its attempt slot and then to the next window boundary.
 #[derive(Debug, Clone)]
 pub struct Sawtooth {
     /// Current run index (window sizes go up to `2^run`).
     run: u32,
     /// Exponent of the current window within the run (`size = 2^exp`).
     exp: u32,
-    /// Slots left in the current window.
-    left: u64,
-    /// The slot (offset from window end, counted down) chosen to transmit.
-    fire_at_left: u64,
+    /// Local slot one past the current window's last slot.
+    window_end: u64,
+    /// Local slot of the current window's transmission attempt.
+    fire_at: u64,
     succeeded: bool,
     primed: bool,
 }
@@ -35,8 +39,8 @@ impl Sawtooth {
         Self {
             run: 1,
             exp: 1,
-            left: 0,
-            fire_at_left: 0,
+            window_end: 0,
+            fire_at: 0,
             succeeded: false,
             primed: false,
         }
@@ -47,8 +51,9 @@ impl Sawtooth {
         move |_spec| Box::new(Self::new())
     }
 
-    /// Advance to the next window in the sawtooth schedule.
-    fn next_window(&mut self, rng: &mut dyn RngCore) {
+    /// Advance to the next window in the sawtooth schedule, entered at
+    /// local slot `now`.
+    fn next_window(&mut self, now: u64, rng: &mut dyn RngCore) {
         if !self.primed {
             self.primed = true;
         } else if self.exp == 0 {
@@ -59,8 +64,9 @@ impl Sawtooth {
             self.exp -= 1;
         }
         let size = 1u64 << self.exp;
-        self.left = size;
-        self.fire_at_left = rng.gen_range(1..=size);
+        let draw = rng.gen_range(1..=size);
+        self.window_end = now + size;
+        self.fire_at = now + size - draw;
     }
 
     /// Current window size (for tests).
@@ -80,12 +86,10 @@ impl Protocol for Sawtooth {
         if self.succeeded {
             return Action::Sleep;
         }
-        if self.left == 0 {
-            self.next_window(rng);
+        if !self.primed || ctx.local_time >= self.window_end {
+            self.next_window(ctx.local_time, rng);
         }
-        let fire = self.left == self.fire_at_left;
-        self.left -= 1;
-        if fire {
+        if ctx.local_time == self.fire_at {
             Action::Transmit(Payload::Data(ctx.id))
         } else {
             // Non-adaptive schedule: sleep between attempts.
@@ -110,6 +114,20 @@ impl Protocol for Sawtooth {
             Some(0.0)
         } else {
             Some(1.0 / self.window_size() as f64)
+        }
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        if self.succeeded {
+            return Some(u64::MAX);
+        }
+        if !self.primed {
+            return None;
+        }
+        if self.fire_at > ctx.local_time {
+            Some(self.fire_at)
+        } else {
+            Some(self.window_end)
         }
     }
 }
@@ -138,10 +156,11 @@ mod tests {
         let mut s = Sawtooth::new();
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let mut sizes = Vec::new();
+        let mut now = 0;
         for _ in 0..9 {
-            s.next_window(&mut rng);
+            s.next_window(now, &mut rng);
             sizes.push(s.window_size());
-            s.left = 0; // pretend the window elapsed
+            now = s.window_end; // pretend the window elapsed
         }
         assert_eq!(sizes, vec![2, 1, 4, 2, 1, 8, 4, 2, 1]);
     }

@@ -36,12 +36,22 @@ impl Protocol for ScheduledSlot {
             self.fired = true;
             Action::Transmit(Payload::Data(ctx.id))
         } else {
-            Action::Listen
+            // The schedule is fixed offline; nothing on the channel can
+            // change it, so the radio stays off outside the assigned slot.
+            Action::Sleep
         }
     }
 
     fn is_done(&self) -> bool {
         self.fired
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        if !self.fired && self.local_slot > ctx.local_time {
+            Some(self.local_slot)
+        } else {
+            Some(u64::MAX)
+        }
     }
 }
 

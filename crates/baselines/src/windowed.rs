@@ -82,15 +82,20 @@ impl Schedule {
 }
 
 /// A windowed-backoff protocol for one job.
+///
+/// The attempt slot of each window is drawn *when the window is entered*
+/// (one `gen_range` per window), so the whole window is known in advance:
+/// `next_wake` can tell the engine to sleep straight to the attempt slot
+/// and then to the next window boundary.
 #[derive(Debug, Clone)]
 pub struct WindowedBackoff {
     schedule: Schedule,
     /// Current window index.
     window_idx: u32,
-    /// Slots remaining in the current window.
-    left: u64,
-    /// Fire when `left` equals this (counted down).
-    fire_at_left: u64,
+    /// Local slot one past the current window's last slot.
+    window_end: u64,
+    /// Local slot of the current window's transmission attempt.
+    fire_at: u64,
     started: bool,
     succeeded: bool,
 }
@@ -101,8 +106,8 @@ impl WindowedBackoff {
         Self {
             schedule,
             window_idx: 0,
-            left: 0,
-            fire_at_left: 0,
+            window_end: 0,
+            fire_at: 0,
             started: false,
             succeeded: false,
         }
@@ -113,14 +118,15 @@ impl WindowedBackoff {
         move |_spec| Box::new(Self::new(schedule))
     }
 
-    fn next_window(&mut self, rng: &mut dyn RngCore) {
+    fn next_window(&mut self, now: u64, rng: &mut dyn RngCore) {
         if self.started {
             self.window_idx += 1;
         }
         self.started = true;
         let size = self.schedule.size(self.window_idx);
-        self.left = size;
-        self.fire_at_left = rng.gen_range(1..=size);
+        let draw = rng.gen_range(1..=size);
+        self.window_end = now + size;
+        self.fire_at = now + size - draw;
     }
 
     /// The index of the window currently being executed.
@@ -134,12 +140,10 @@ impl Protocol for WindowedBackoff {
         if self.succeeded {
             return Action::Sleep;
         }
-        if self.left == 0 {
-            self.next_window(rng);
+        if !self.started || ctx.local_time >= self.window_end {
+            self.next_window(ctx.local_time, rng);
         }
-        let fire = self.left == self.fire_at_left;
-        self.left -= 1;
-        if fire {
+        if ctx.local_time == self.fire_at {
             Action::Transmit(Payload::Data(ctx.id))
         } else {
             // Non-adaptive schedule: sleep between attempts.
@@ -164,6 +168,22 @@ impl Protocol for WindowedBackoff {
             Some(0.0)
         } else {
             Some(1.0 / self.schedule.size(self.window_idx).max(1) as f64)
+        }
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        if self.succeeded {
+            return Some(u64::MAX);
+        }
+        if !self.started {
+            return None;
+        }
+        if self.fire_at > ctx.local_time {
+            Some(self.fire_at)
+        } else {
+            // Attempt made (and failed, or the engine would have retired
+            // us): next event is the roll at the window boundary.
+            Some(self.window_end)
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcr_baselines::FixedProbability;
+use dcr_core::uniform::Uniform;
 use dcr_sim::engine::{Engine, EngineConfig};
 use dcr_sim::jamming::{JamPolicy, Jammer};
 use dcr_sim::job::JobSpec;
@@ -56,10 +57,34 @@ fn bench_jammer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Event-driven parking vs dense polling on a parkable workload: UNIFORM
+/// jobs sleep in all but their one chosen slot, so wake hints collapse the
+/// window. (`FixedProbability` opts out of hints, so the groups above
+/// measure the dense path in both modes.)
+fn bench_scheduling(c: &mut Criterion) {
+    let n = 100u32;
+    let window = 1u64 << 14;
+    let run_uniform = |config: EngineConfig| {
+        let mut e = Engine::new(config, 42);
+        for i in 0..n {
+            e.add_job(JobSpec::new(i, 0, window), Box::new(Uniform::single()));
+        }
+        e.run().slots_run
+    };
+    let mut group = c.benchmark_group("engine/scheduling");
+    group.throughput(Throughput::Elements(window));
+    group.bench_function("dense", |b| {
+        b.iter(|| run_uniform(EngineConfig::default().dense()))
+    });
+    group.bench_function("event", |b| b.iter(|| run_uniform(EngineConfig::default())));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_slot_throughput,
     bench_trace_overhead,
-    bench_jammer_overhead
+    bench_jammer_overhead,
+    bench_scheduling
 );
 criterion_main!(benches);

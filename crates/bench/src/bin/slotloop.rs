@@ -1,0 +1,213 @@
+//! Slot-loop throughput benchmark: dense polling vs event-driven parking.
+//!
+//! Runs a handful of large-window experiment-style workloads (the shapes
+//! of E9, E10, and E17) under both [`Scheduling`] modes, cross-checks that
+//! the reports agree (the equivalence the wake-hint contract promises),
+//! and writes before/after slots-per-second plus speedups to
+//! `BENCH_slotloop.json` at the workspace root.
+//!
+//! Timing uses the engine's own `engine_nanos` (slot-loop wall time), so
+//! setup and report assembly are excluded. Each configuration runs
+//! `REPS` times per mode and the fastest rep is kept — standard practice
+//! for throughput floors on a shared machine.
+
+use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
+use dcr_core::punctual::PunctualParams;
+use dcr_core::uniform::Uniform;
+use dcr_core::PunctualProtocol;
+use dcr_sim::engine::{Engine, EngineConfig, Protocol, Scheduling};
+use dcr_sim::job::JobSpec;
+use dcr_sim::metrics::SimReport;
+use dcr_workloads::generators::poisson;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+const REPS: usize = 3;
+const SEED: u64 = 20200715; // SPAA'20 conference date
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    jobs: usize,
+    slots_run: u64,
+    dense_slots_per_sec: f64,
+    event_slots_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    generated_by: &'static str,
+    seed: u64,
+    reps: usize,
+    rows: Vec<Row>,
+}
+
+type ProtocolFactory = Box<dyn Fn() -> Box<dyn Protocol>>;
+
+struct Workload {
+    name: String,
+    jobs: Vec<(JobSpec, ProtocolFactory)>,
+}
+
+fn punctual_batch(n: u32, window: u64) -> Workload {
+    let params = PunctualParams::laptop();
+    Workload {
+        name: format!("e9-punctual-batch n={n} w=2^{}", window.trailing_zeros()),
+        jobs: (0..n)
+            .map(|i| {
+                let spec = JobSpec::new(i, 0, window);
+                let f: ProtocolFactory = Box::new(move || Box::new(PunctualProtocol::new(params)));
+                (spec, f)
+            })
+            .collect(),
+    }
+}
+
+fn poisson_specs(rate: f64, horizon: u64, windows: &[u64]) -> Vec<JobSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    poisson(rate, horizon, windows, &mut rng).jobs
+}
+
+fn poisson_punctual(rate: f64, horizon: u64) -> Workload {
+    let params = PunctualParams::laptop();
+    let specs = poisson_specs(rate, horizon, &[1 << 12, 1 << 14]);
+    Workload {
+        name: format!(
+            "e10-punctual-poisson rate={rate} horizon=2^{}",
+            horizon.trailing_zeros()
+        ),
+        jobs: specs
+            .into_iter()
+            .map(|spec| {
+                let f: ProtocolFactory = Box::new(move || Box::new(PunctualProtocol::new(params)));
+                (spec, f)
+            })
+            .collect(),
+    }
+}
+
+fn poisson_uniform(rate: f64, horizon: u64) -> Workload {
+    let specs = poisson_specs(rate, horizon, &[1 << 14, 1 << 16]);
+    Workload {
+        name: format!(
+            "e10-uniform-poisson rate={rate} horizon=2^{}",
+            horizon.trailing_zeros()
+        ),
+        jobs: specs
+            .into_iter()
+            .map(|spec| {
+                let f: ProtocolFactory = Box::new(|| Box::new(Uniform::single()));
+                (spec, f)
+            })
+            .collect(),
+    }
+}
+
+fn backoff_mix(n: u32, window: u64) -> Workload {
+    Workload {
+        name: format!("e17-backoff-mix n={n} w=2^{}", window.trailing_zeros()),
+        jobs: (0..n)
+            .map(|i| {
+                let release = u64::from(i) * 97 % (window / 4);
+                let spec = JobSpec::new(i, release, release + window);
+                let f: ProtocolFactory = if i % 2 == 0 {
+                    Box::new(|| Box::new(Sawtooth::new()))
+                } else {
+                    Box::new(|| Box::new(BinaryExponentialBackoff::new()))
+                };
+                (spec, f)
+            })
+            .collect(),
+    }
+}
+
+fn run_mode(w: &Workload, scheduling: Scheduling) -> SimReport {
+    let config = EngineConfig {
+        scheduling,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config, SEED);
+    for (spec, factory) in &w.jobs {
+        engine.add_job(*spec, factory());
+    }
+    engine.run()
+}
+
+/// Fastest slots/sec over `REPS` runs; also returns the last report for
+/// the cross-check.
+fn best_rate(w: &Workload, scheduling: Scheduling) -> (f64, SimReport) {
+    let mut best = 0.0f64;
+    let mut last = None;
+    for _ in 0..REPS {
+        let report = run_mode(w, scheduling);
+        let secs = report.engine_nanos as f64 / 1e9;
+        if secs > 0.0 {
+            best = best.max(report.slots_run as f64 / secs);
+        }
+        last = Some(report);
+    }
+    (best, last.expect("REPS >= 1"))
+}
+
+fn main() {
+    let workloads = vec![
+        punctual_batch(48, 1 << 14),
+        poisson_punctual(0.02, 1 << 17),
+        poisson_uniform(0.02, 1 << 17),
+        backoff_mix(64, 1 << 16),
+    ];
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let (dense_rate, dense_report) = best_rate(w, Scheduling::Dense);
+        let (event_rate, event_report) = best_rate(w, Scheduling::EventDriven);
+
+        // The speedup is only meaningful if the modes agree.
+        assert_eq!(
+            dense_report.outcomes(),
+            event_report.outcomes(),
+            "{}: modes disagree on outcomes",
+            w.name
+        );
+        assert_eq!(
+            dense_report.counts, event_report.counts,
+            "{}: modes disagree on slot counts",
+            w.name
+        );
+
+        let speedup = if dense_rate > 0.0 {
+            event_rate / dense_rate
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:48} jobs={:4} slots={:8}  dense {:>12.0}/s  event {:>12.0}/s  speedup {:5.2}x",
+            w.name,
+            w.jobs.len(),
+            event_report.slots_run,
+            dense_rate,
+            event_rate,
+            speedup
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            jobs: w.jobs.len(),
+            slots_run: event_report.slots_run,
+            dense_slots_per_sec: dense_rate,
+            event_slots_per_sec: event_rate,
+            speedup,
+        });
+    }
+
+    let bench = Bench {
+        generated_by: "cargo run --release -p dcr-bench --bin slotloop",
+        seed: SEED,
+        reps: REPS,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serialize");
+    std::fs::write("BENCH_slotloop.json", json + "\n").expect("write BENCH_slotloop.json");
+    println!("wrote BENCH_slotloop.json");
+}

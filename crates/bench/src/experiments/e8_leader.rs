@@ -41,14 +41,35 @@ fn trial(n: u32, seed: u64) -> (bool, f64, f64) {
     let trace = r.trace.as_ref().expect("trace");
     let anchor = find_round_anchor(trace).unwrap_or(0);
 
+    // Number of slots `s` in `[start, end)` with `(s - anchor) % ROUND_LEN
+    // == 7`; silent-gap records can cover many rounds in one record.
+    let pos7_in = |start: u64, end: u64| -> u64 {
+        if end <= start {
+            return 0;
+        }
+        let first = start + (7 + ROUND_LEN - (start - anchor) % ROUND_LEN) % ROUND_LEN;
+        if first >= end {
+            0
+        } else {
+            (end - 1 - first) / ROUND_LEN + 1
+        }
+    };
     let mut elected = false;
     let mut contention_sum = 0.0;
     let mut election_slots = 0u64;
     for rec in trace {
-        if rec.slot < anchor {
+        let end = rec.slot + rec.covered_slots();
+        if end <= anchor {
             continue;
         }
-        if (rec.slot - anchor) % ROUND_LEN == 7 {
+        if rec.is_silent() {
+            // Every covered election slot counts; a fast-forwarded gap means
+            // every job was asleep, i.e. zero declared contention there.
+            election_slots += pos7_in(rec.slot.max(anchor), end);
+            if rec.slot >= anchor && (rec.slot - anchor) % ROUND_LEN == 7 {
+                contention_sum += rec.declared_contention;
+            }
+        } else if rec.slot >= anchor && (rec.slot - anchor) % ROUND_LEN == 7 {
             election_slots += 1;
             contention_sum += rec.declared_contention;
             if let SlotOutcome::Success { .. } = rec.outcome {

@@ -59,19 +59,23 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let trace = report.trace.as_ref().expect("trace enabled");
 
     // Replay a global tracker over the public history to label each slot.
+    // Run-length-encoded silent gaps expand to one silent slot each: the
+    // channel really was silent for every slot a gap record covers.
     let mut tracker = Tracker::new(params, CLASSES[2], 0);
     // (class index, kind char) per slot; ' ' = idle.
     let mut labels: Vec<Option<(u32, char)>> = Vec::with_capacity(trace.len());
     for rec in trace {
-        let step = tracker.begin_slot(rec.slot);
-        labels.push(step.map(|s| {
-            let c = match s.kind {
-                StepKind::Estimation { .. } => 'E',
-                StepKind::Broadcast(_) => 'B',
-            };
-            (s.class, c)
-        }));
-        tracker.end_slot(rec.slot, &feedback_of(rec));
+        for slot in rec.slot..rec.slot + rec.covered_slots() {
+            let step = tracker.begin_slot(slot);
+            labels.push(step.map(|s| {
+                let c = match s.kind {
+                    StepKind::Estimation { .. } => 'E',
+                    StepKind::Broadcast(_) => 'B',
+                };
+                (s.class, c)
+            }));
+            tracker.end_slot(slot, &feedback_of(rec));
+        }
     }
 
     let mut out = String::new();
@@ -124,11 +128,16 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         // Re-derive the first-window estimate from the replay labels.
         let mut replay = Tracker::new(params, class, 0);
         let mut estimate = None;
-        for rec in trace.iter().take(w as usize) {
-            let _ = replay.begin_slot(rec.slot);
-            replay.end_slot(rec.slot, &feedback_of(rec));
-            if estimate.is_none() {
-                estimate = replay.estimate_of(class);
+        'replay: for rec in trace {
+            for slot in rec.slot..rec.slot + rec.covered_slots() {
+                if slot >= w {
+                    break 'replay;
+                }
+                let _ = replay.begin_slot(slot);
+                replay.end_slot(slot, &feedback_of(rec));
+                if estimate.is_none() {
+                    estimate = replay.estimate_of(class);
+                }
             }
         }
         let est = estimate.unwrap_or(0);

@@ -55,7 +55,7 @@ where
 /// Reconstruct the [`Feedback`] a listener saw from a trace record.
 pub fn feedback_of(rec: &SlotRecord) -> Feedback {
     match rec.outcome {
-        SlotOutcome::Silent => Feedback::Silent,
+        SlotOutcome::Silent | SlotOutcome::SilentGap { .. } => Feedback::Silent,
         SlotOutcome::Success { src, .. } => Feedback::Success {
             src,
             payload: rec.payload.expect("success records carry payloads"),
@@ -69,7 +69,7 @@ pub fn feedback_of(rec: &SlotRecord) -> Feedback {
 /// protocol's synchronizer uses, since anarchy slots can extend a busy run
 /// leftward). Returns the slot index of the round start.
 pub fn find_round_anchor(trace: &[SlotRecord]) -> Option<u64> {
-    let busy = |r: &SlotRecord| !matches!(r.outcome, SlotOutcome::Silent);
+    let busy = |r: &SlotRecord| !r.is_silent();
     for win in trace.windows(3) {
         if busy(&win[0])
             && busy(&win[1])
@@ -129,7 +129,7 @@ pub fn run_single_class(
                 continue;
             }
             match job.decide(vt, &mut rngs[i]) {
-                AlignedAction::Idle => {}
+                AlignedAction::Idle | AlignedAction::Doze => {}
                 AlignedAction::Control => txs.push((i, job.control_payload())),
                 AlignedAction::Data => txs.push((i, job.data_payload())),
             }

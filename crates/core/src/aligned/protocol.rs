@@ -19,12 +19,19 @@ use rand::{Rng, RngCore};
 /// What an aligned job wants to do with the current virtual slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlignedAction {
-    /// Listen (someone else's slot, or chose not to transmit).
+    /// Listen (an estimation step, where the feedback feeds the replicated
+    /// estimator, or chose not to transmit in one of its own).
     Idle,
     /// Transmit an estimation ping.
     Control,
     /// Transmit the data message.
     Data,
+    /// Nothing to transmit and nothing to hear: a broadcast step (its
+    /// feedback never enters the replicated state) or an idle slot. The
+    /// tracker has already been advanced past the slot, so the caller may
+    /// skip [`AlignedJob::observe`] and keep the radio off — and may park
+    /// the job until [`AlignedJob::next_wake_vt`].
+    Doze,
 }
 
 /// The ALIGNED state machine for one job, in virtual time.
@@ -39,6 +46,10 @@ pub struct AlignedJob {
     /// global start step) we last drew a slot for, and the drawn offset.
     drawn_subphase: Option<u64>,
     drawn_offset: u64,
+    /// The virtual slot the next `decide` is expected for; a jump past it
+    /// (a parked stretch of `Doze` slots) is replayed via
+    /// [`Tracker::fast_forward`].
+    next_vt: u64,
     succeeded: bool,
     gave_up: bool,
     /// Probability with which the job intended to transmit this slot
@@ -64,6 +75,7 @@ impl AlignedJob {
             tracker,
             drawn_subphase: None,
             drawn_offset: 0,
+            next_vt: window_start,
             succeeded: false,
             gave_up: false,
             last_prob: 0.0,
@@ -106,9 +118,12 @@ impl AlignedJob {
         self.last_prob
     }
 
-    /// Decide the action for virtual slot `vt`. Call exactly once per
-    /// virtual slot, in order, starting at `window_start`; follow with
-    /// [`AlignedJob::observe`] for the same slot.
+    /// Decide the action for virtual slot `vt`. Call once per virtual
+    /// slot, in order, starting at `window_start` — except that slots
+    /// answered with [`AlignedAction::Doze`] may be skipped wholesale:
+    /// a jump forward replays the gap through the tracker in bulk. Follow
+    /// with [`AlignedJob::observe`] for the same slot unless the answer
+    /// was `Doze` (then `observe` is a harmless no-op on the tracker).
     pub fn decide(&mut self, vt: u64, rng: &mut dyn RngCore) -> AlignedAction {
         self.last_prob = 0.0;
         if vt >= self.window_start + (1u64 << self.class) {
@@ -118,6 +133,11 @@ impl AlignedJob {
             }
             return AlignedAction::Idle;
         }
+        if vt > self.next_vt {
+            // Parked through a dozable stretch: replay it in bulk.
+            self.tracker.fast_forward(self.next_vt, vt);
+        }
+        self.next_vt = vt + 1;
         let step = self.tracker.begin_slot(vt);
         let Some(ActiveStep {
             class,
@@ -125,37 +145,52 @@ impl AlignedJob {
             kind,
         }) = step
         else {
-            return AlignedAction::Idle;
+            // No tracked class owns the slot: nothing to hear or advance.
+            return self.doze(vt);
         };
-        // Only my own class's steps, within my own window, concern me.
-        if class != self.class || window_start != self.window_start || self.finished() {
-            return AlignedAction::Idle;
-        }
-        match kind {
-            StepKind::Estimation { phase, .. } => {
+        if let StepKind::Estimation { phase, .. } = kind {
+            // Estimation feedback (anyone's) feeds the replicated
+            // estimator: the slot must be heard.
+            if class == self.class && window_start == self.window_start && !self.finished() {
                 let p = Estimation::tx_probability(phase);
                 self.last_prob = p;
                 if rng.gen_bool(p) {
-                    AlignedAction::Control
-                } else {
-                    AlignedAction::Idle
+                    return AlignedAction::Control;
                 }
             }
-            StepKind::Broadcast(pos) => {
-                // New subphase? Draw this job's slot for it.
-                let subphase_start_step = self.tracker.steps_of(self.class) - pos.offset;
-                if self.drawn_subphase != Some(subphase_start_step) {
-                    self.drawn_subphase = Some(subphase_start_step);
-                    self.drawn_offset = rng.gen_range(0..pos.len);
-                }
-                self.last_prob = 1.0 / pos.len as f64;
-                if pos.offset == self.drawn_offset {
-                    AlignedAction::Data
-                } else {
-                    AlignedAction::Idle
-                }
+            return AlignedAction::Idle;
+        }
+        if class == self.class && window_start == self.window_start && !self.finished() {
+            let StepKind::Broadcast(pos) = kind else {
+                unreachable!("estimation handled above")
+            };
+            // New subphase? Draw this job's slot for it.
+            let subphase_start_step = self.tracker.steps_of(self.class) - pos.offset;
+            if self.drawn_subphase != Some(subphase_start_step) {
+                self.drawn_subphase = Some(subphase_start_step);
+                self.drawn_offset = rng.gen_range(0..pos.len);
+            }
+            self.last_prob = 1.0 / pos.len as f64;
+            if pos.offset == self.drawn_offset {
+                return AlignedAction::Data;
             }
         }
+        // A broadcast step with nothing of ours in it (or another class's):
+        // its feedback never enters the replicated state, so consume it
+        // now and keep the radio off.
+        self.doze(vt)
+    }
+
+    /// Advance the tracker past a slot whose feedback is irrelevant
+    /// (non-estimation `end_slot` ignores it) and report `Doze`. Give-up
+    /// is detected here for completion steps the job dozes through, at the
+    /// same slot `observe` would have caught it.
+    fn doze(&mut self, vt: u64) -> AlignedAction {
+        self.tracker.end_slot(vt, &Feedback::Silent);
+        if !self.succeeded && self.tracker.is_complete(self.class) {
+            self.gave_up = true;
+        }
+        AlignedAction::Doze
     }
 
     /// Feed back the channel observation for virtual slot `vt`.
@@ -172,6 +207,22 @@ impl AlignedJob {
         if !self.succeeded && self.tracker.is_complete(self.class) {
             self.gave_up = true;
         }
+    }
+
+    /// The next virtual slot (strictly after `now`, the last decided slot)
+    /// at which this job must act or listen; every slot in between would
+    /// be answered with [`AlignedAction::Doze`]. `u64::MAX` once finished.
+    pub fn next_wake_vt(&self, now: u64) -> u64 {
+        if self.finished() {
+            return u64::MAX;
+        }
+        self.tracker.next_wake_hint(
+            now,
+            self.class,
+            self.window_start,
+            self.drawn_subphase,
+            self.drawn_offset,
+        )
     }
 
     /// The control ping transmitted during estimation steps.
@@ -235,6 +286,8 @@ impl Protocol for AlignedProtocol {
             AlignedAction::Idle => Action::Listen,
             AlignedAction::Control => Action::Transmit(job.control_payload()),
             AlignedAction::Data => Action::Transmit(job.data_payload()),
+            // The tracker already consumed the slot; nothing to hear.
+            AlignedAction::Doze => Action::Sleep,
         }
     }
 
@@ -249,6 +302,17 @@ impl Protocol for AlignedProtocol {
 
     fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
         self.job.as_ref().map(|j| j.last_prob())
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        let job = self.job.as_ref()?;
+        let now = ctx.aligned_now();
+        let wake_vt = job.next_wake_vt(now);
+        if wake_vt == u64::MAX {
+            return Some(u64::MAX);
+        }
+        // Virtual time advances in lockstep with local time here.
+        Some(ctx.local_time + (wake_vt - now))
     }
 }
 

@@ -182,6 +182,127 @@ impl Tracker {
         }
     }
 
+    /// Advance the replicated schedule over the feedback-free gap
+    /// `[from, to)` in `O(#segments)` instead of slot-by-slot. Callers must
+    /// guarantee the gap contains no estimation step of any tracked class
+    /// and no window-boundary reset — which [`Tracker::next_wake_hint`]'s
+    /// wake plan does by construction (every multiple of `2^min_class`
+    /// starts a fresh estimation of the smallest class, so hints never
+    /// reach past one).
+    pub fn fast_forward(&mut self, from: u64, to: u64) {
+        assert!(self.pending.is_none(), "fast_forward with a slot in flight");
+        let min_w = 1u64 << self.params.min_class;
+        assert!(
+            from.div_ceil(min_w) * min_w >= to,
+            "gap [{from}, {to}) crosses a window-boundary reset"
+        );
+        let mut t = from;
+        while t < to {
+            let Some(idx) = self.classes.iter().position(|cs| !cs.complete) else {
+                // All tracked classes idle for the rest of the gap.
+                return;
+            };
+            let est_len = self.params.est_len(self.classes[idx].class);
+            let cs = &mut self.classes[idx];
+            assert!(
+                cs.steps >= est_len,
+                "fast_forward across an estimation step of class {}",
+                cs.class
+            );
+            let layout = cs.layout.as_ref().expect("estimated class has a layout");
+            let total = est_len + layout.total();
+            let take = (total - cs.steps).min(to - t);
+            cs.steps += take;
+            t += take;
+            if cs.steps == total {
+                cs.complete = true;
+            }
+        }
+    }
+
+    /// The next virtual slot strictly after `now` at which a job of
+    /// `(my_class, my_window_start)` must take part in the slot-by-slot
+    /// protocol: the earliest slot that is any tracked class's estimation
+    /// step (real feedback feeds the replicated estimator), a
+    /// window-boundary reset, or one of the job's own broadcast events —
+    /// a subphase entry (where it draws its slot), its drawn slot, or its
+    /// schedule's completion step (where giving up is detected). Every
+    /// slot in between is a feedback-free broadcast or idle slot that
+    /// [`Tracker::fast_forward`] can replay in bulk.
+    ///
+    /// `drawn_subphase`/`drawn_offset` are the caller's subphase draw
+    /// bookkeeping (see `AlignedJob`), needed to locate its drawn slot.
+    pub fn next_wake_hint(
+        &self,
+        now: u64,
+        my_class: u32,
+        my_window_start: u64,
+        drawn_subphase: Option<u64>,
+        drawn_offset: u64,
+    ) -> u64 {
+        assert!(
+            self.pending.is_none(),
+            "next_wake_hint with a slot in flight"
+        );
+        let min_w = 1u64 << self.params.min_class;
+        // Every multiple of 2^min_class resets the smallest class into a
+        // fresh estimation, so no plan extends past the next one.
+        let boundary = (now / min_w + 1) * min_w;
+        let mut steps: Vec<u64> = self.classes.iter().map(|c| c.steps).collect();
+        let mut complete: Vec<bool> = self.classes.iter().map(|c| c.complete).collect();
+        let mut t = now + 1;
+        while t < boundary {
+            let Some(idx) = complete.iter().position(|c| !c) else {
+                return boundary;
+            };
+            let cs = &self.classes[idx];
+            let est_len = self.params.est_len(cs.class);
+            if steps[idx] < est_len {
+                return t;
+            }
+            let layout = cs.layout.as_ref().expect("estimated class has a layout");
+            let total = est_len + layout.total();
+            let remaining = total - steps[idx];
+            let seg_end = (t + remaining).min(boundary);
+            if cs.class == my_class && cs.window_start == my_window_start {
+                // Within the segment, active steps map 1:1 onto slots.
+                let bstep = steps[idx] - est_len;
+                let pos = layout.position(bstep);
+                if drawn_subphase != Some(steps[idx] - pos.offset) {
+                    // A subphase this job has not drawn a slot for is
+                    // under way at t: wake to draw.
+                    return t;
+                }
+                let mut event = u64::MAX;
+                if drawn_offset >= pos.offset {
+                    event = t + (drawn_offset - pos.offset); // the drawn slot
+                }
+                let sp = layout.subphases()[pos.subphase];
+                let next_entry = t + (sp.start + sp.len - bstep);
+                if next_entry < seg_end {
+                    event = event.min(next_entry);
+                }
+                if seg_end == t + remaining {
+                    // The schedule's last step, where give-up is detected.
+                    event = event.min(seg_end - 1);
+                }
+                if event < seg_end {
+                    return event;
+                }
+                // The boundary truncates the segment before any event.
+                return boundary;
+            }
+            // Another class's broadcast segment: nothing to do or hear.
+            if seg_end < t + remaining {
+                return boundary;
+            }
+            steps[idx] = total;
+            complete[idx] = true;
+            t = seg_end;
+        }
+        boundary
+    }
+
     /// Publicly computed estimate for `class`'s current window, if its
     /// estimation has finished.
     pub fn estimate_of(&self, class: u32) -> Option<u64> {

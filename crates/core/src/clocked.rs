@@ -123,6 +123,9 @@ impl Protocol for ClockedProtocol {
                     AlignedAction::Idle => Action::Listen,
                     AlignedAction::Control => Action::Transmit(job.control_payload()),
                     AlignedAction::Data => Action::Transmit(job.data_payload()),
+                    // Keep listening so on_feedback still observes the
+                    // success/give-up transitions the same slot.
+                    AlignedAction::Doze => Action::Listen,
                 }
             }
             Phase::Fallback => {

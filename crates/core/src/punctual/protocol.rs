@@ -321,7 +321,9 @@ impl Protocol for PunctualProtocol {
                 self.last_prob = 1.0;
                 Action::Transmit(PunctualMsg::Start.encode())
             }
-            SlotRole::Guard => Action::Listen,
+            // Guard slots are guaranteed silent while the train lives and
+            // no state reacts to them: radio off.
+            SlotRole::Guard => Action::Sleep,
             SlotRole::Timekeeper => {
                 let rem = self.remaining_rounds(ctx, l);
                 let clock = self.clock;
@@ -353,6 +355,9 @@ impl Protocol for PunctualProtocol {
                             Action::Transmit(Payload::Data(ctx.id))
                         }
                     },
+                    // An anarchist never reads the clock again and never
+                    // leaves anarchy: beacons are dead to it.
+                    State::Anarchist => Action::Sleep,
                     _ => Action::Listen,
                 }
             }
@@ -378,33 +383,44 @@ impl Protocol for PunctualProtocol {
                         AlignedAction::Idle => Action::Listen,
                         AlignedAction::Control => Action::Transmit(j.control_payload()),
                         AlignedAction::Data => Action::Transmit(j.data_payload()),
+                        // Keep listening so on_feedback still observes the
+                        // success/give-up transitions the same slot.
+                        AlignedAction::Doze => Action::Listen,
                     }
                 } else {
-                    Action::Listen
+                    // Only followers run the embedded ALIGNED instance.
+                    Action::Sleep
                 }
             }
             SlotRole::Election => {
                 let p = self.params.claim_probability(ctx.window);
-                if let State::Slingshot {
-                    claims_left,
-                    waiting_beacon,
-                    claimed,
-                    ..
-                } = &mut self.state
-                {
-                    *claimed = false;
-                    if *waiting_beacon || *claims_left == 0 {
-                        return Action::Listen;
+                match &mut self.state {
+                    State::Slingshot {
+                        claims_left,
+                        waiting_beacon,
+                        claimed,
+                        ..
+                    } => {
+                        *claimed = false;
+                        if !*waiting_beacon && *claims_left > 0 {
+                            *claims_left -= 1;
+                            self.last_prob = p;
+                            if rng.gen_bool(p) {
+                                *claimed = true;
+                                let remaining = (ctx.window - l) / ROUND_LEN;
+                                return Action::Transmit(PunctualMsg::Claim { remaining }.encode());
+                            }
+                        }
+                        // Claiming or not, a slingshotter watches every
+                        // election slot for competing claims.
+                        Action::Listen
                     }
-                    *claims_left -= 1;
-                    self.last_prob = p;
-                    if rng.gen_bool(p) {
-                        *claimed = true;
-                        let remaining = (ctx.window - l) / ROUND_LEN;
-                        return Action::Transmit(PunctualMsg::Claim { remaining }.encode());
-                    }
+                    // The leader listens for claims that depose it.
+                    State::Leader { .. } => Action::Listen,
+                    // Followers and anarchists neither claim nor react to
+                    // whoever wins an election.
+                    _ => Action::Sleep,
                 }
-                Action::Listen
             }
             SlotRole::Anarchy => {
                 if matches!(self.state, State::Anarchist) && !self.succeeded {
@@ -414,7 +430,9 @@ impl Protocol for PunctualProtocol {
                         return Action::Transmit(Payload::Data(ctx.id));
                     }
                 }
-                Action::Listen
+                // Anarchy shots carry data, not protocol state: nobody
+                // needs to hear them.
+                Action::Sleep
             }
         }
     }
@@ -582,6 +600,35 @@ impl Protocol for PunctualProtocol {
 
     fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
         Some(self.last_prob)
+    }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        // Round positions where the current state needs to act (cf.
+        // `slot_role`: start = 0,1; timekeeper = 3; aligned = 5;
+        // election = 7; anarchy = 9). Every other position is a Sleep with
+        // no RNG draw or state change, so the engine may park the job
+        // between wakes. The state can only change in an acted slot, so
+        // the mask stays valid for the whole parked stretch.
+        let mask: &[u64] = match self.state {
+            // Pre-sync states listen (or announce) in every slot.
+            State::SyncListen { .. } | State::SyncAnnounce { .. } => return None,
+            State::Done => return Some(u64::MAX),
+            // Start pair + timekeeper beacons + election claims (a
+            // claimless slingshotter still watches elections).
+            State::Slingshot { .. } | State::Leader { .. } => &[0, 1, 3, 7],
+            // Start pair + timekeeper beacons + aligned virtual slots.
+            State::Follow { .. } => &[0, 1, 3, 5],
+            // Start pair + the anarchy slot.
+            State::Anarchist => &[0, 1, 9],
+        };
+        let anchor = self.anchor.expect("synchronized states have an anchor");
+        let pos = (ctx.local_time - anchor) % ROUND_LEN;
+        let step = mask
+            .iter()
+            .map(|&m| (m + ROUND_LEN - pos - 1) % ROUND_LEN + 1)
+            .min()
+            .expect("masks are non-empty");
+        Some(ctx.local_time + step)
     }
 }
 

@@ -90,6 +90,17 @@ impl Protocol for Uniform {
         // into C(t) when analysing UNIFORM).
         Some(self.attempts.min(ctx.window as usize) as f64 / ctx.window as f64)
     }
+
+    fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+        // All attempt slots are drawn at activation, so the schedule is
+        // fully known: sleep until the next chosen slot (or forever once
+        // all attempts are spent or the message is delivered).
+        if self.succeeded {
+            return Some(u64::MAX);
+        }
+        let next = self.chosen.partition_point(|&s| s <= ctx.local_time);
+        Some(self.chosen.get(next).copied().unwrap_or(u64::MAX))
+    }
 }
 
 #[cfg(test)]

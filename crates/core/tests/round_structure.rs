@@ -12,7 +12,7 @@ use dcr_core::punctual::{PunctualParams, ROUND_LEN};
 use dcr_core::PunctualProtocol;
 use dcr_sim::engine::{Engine, EngineConfig};
 use dcr_sim::job::JobSpec;
-use dcr_sim::trace::{SlotOutcome, SlotRecord};
+use dcr_sim::trace::SlotRecord;
 use proptest::prelude::*;
 
 fn run_traced(n: u32, w: u64, stagger: u64, seed: u64) -> Vec<SlotRecord> {
@@ -28,7 +28,8 @@ fn run_traced(n: u32, w: u64, stagger: u64, seed: u64) -> Vec<SlotRecord> {
 }
 
 fn busy(rec: &SlotRecord) -> bool {
-    !matches!(rec.outcome, SlotOutcome::Silent)
+    // A run-length-encoded silent gap is silence, not traffic.
+    !rec.is_silent()
 }
 
 /// The anchor (round-start slot) per the trace: first busy-busy-silent.

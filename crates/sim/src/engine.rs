@@ -23,6 +23,7 @@ use crate::job::{JobId, JobSpec};
 use crate::message::Payload;
 use crate::metrics::{AccessCounts, JobOutcome, SimReport, SlotCounts};
 use crate::rng::{SeedSeq, StreamLabel};
+use crate::sched::WakeQueue;
 use crate::slot::Feedback;
 use crate::trace::{SlotOutcome, SlotRecord};
 use rand::RngCore;
@@ -102,6 +103,40 @@ pub trait Protocol {
     fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
         None
     }
+
+    /// Scheduling hint: the next *local* slot at which this job needs an
+    /// `act()` call, given that the slot described by `ctx` just completed.
+    ///
+    /// Returning `Some(w)` with `w > ctx.local_time + 1` promises that for
+    /// every local slot in `(ctx.local_time, w)` the protocol would have
+    /// returned [`Action::Sleep`] *without drawing randomness or changing
+    /// state*. Under [`Scheduling::EventDriven`] the engine then parks the
+    /// job and skips those `act()` calls entirely — no ctx construction, no
+    /// virtual dispatch — waking it at local slot `w` (possibly earlier,
+    /// never later; hints past the window are clamped to its last slot, and
+    /// `u64::MAX` means "never again"). Because the skipped calls are
+    /// exactly the ones with no observable effect, results are bit-identical
+    /// to dense polling.
+    ///
+    /// The default (`None`) opts out: the job is polled every slot, which is
+    /// always correct (legacy behavior).
+    fn next_wake(&self, _ctx: &JobCtx) -> Option<u64> {
+        None
+    }
+}
+
+/// How the engine visits live jobs each slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Park jobs whose protocol reports a [`Protocol::next_wake`] hint and
+    /// skip their `act()` calls until the wake slot; stretches where *every*
+    /// live job is parked are fast-forwarded in O(1). Protocols without
+    /// hints are still polled densely, so this is safe for any mix.
+    #[default]
+    EventDriven,
+    /// Poll every live job every slot (legacy behavior). Wake hints are
+    /// never consulted; useful as the reference in equivalence tests.
+    Dense,
 }
 
 /// Engine configuration.
@@ -116,6 +151,8 @@ pub struct EngineConfig {
     /// [`JobCtx::aligned_time`]. Only legitimate for the aligned special
     /// case (Section 3); PUNCTUAL must run with this off.
     pub expose_aligned_clock: bool,
+    /// How live jobs are visited each slot (see [`Scheduling`]).
+    pub scheduling: Scheduling,
 }
 
 impl EngineConfig {
@@ -130,6 +167,12 @@ impl EngineConfig {
     /// Enable trace recording.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Force dense polling (ignore wake hints).
+    pub fn dense(mut self) -> Self {
+        self.scheduling = Scheduling::Dense;
         self
     }
 }
@@ -225,7 +268,15 @@ impl Engine {
         by_release.sort_by_key(|&i| (self.jobs[i].spec.release, self.jobs[i].spec.id));
         let mut next_pending = 0usize;
 
-        let mut live: Vec<usize> = Vec::with_capacity(self.jobs.len());
+        // `polled` holds live jobs visited every slot; `parked` holds live
+        // jobs waiting for their wake slot (event-driven scheduling only).
+        let mut polled: Vec<usize> = Vec::with_capacity(self.jobs.len());
+        let mut parked = WakeQueue::new();
+        let event_driven = self.config.scheduling == Scheduling::EventDriven;
+        // A jammer that can strike silent slots draws adversary randomness
+        // every slot, so all-parked stretches cannot be skipped without
+        // desynchronizing (and silencing) it; such slots run one by one.
+        let jammer_strikes_idle = self.jammer.strikes_idle();
         let mut scratch = SlotScratch::default();
         let mut counts = SlotCounts::default();
         let mut trace = self.config.record_trace.then(Vec::new);
@@ -234,28 +285,39 @@ impl Engine {
         let mut slot: u64 = 0;
         while slot < max_slots {
             // Nothing live and nothing pending: the channel is idle forever.
-            if live.is_empty() && next_pending == by_release.len() {
+            if polled.is_empty() && parked.is_empty() && next_pending == by_release.len() {
                 break;
             }
-            // Fast-forward through idle gaps between arrival bursts. The
-            // skipped slots really are silent, so they stay accounted (and
-            // traced, when tracing): `counts.total()` always equals the
-            // number of slots the run covered.
-            if live.is_empty() {
-                let next_release = self.jobs[by_release[next_pending]].spec.release;
-                if next_release > slot {
-                    let until = next_release.min(max_slots);
-                    counts.silent += until - slot;
+            // Fast-forward through stretches where no job needs polling:
+            // idle gaps between arrival bursts, and stretches where every
+            // live job is parked. The skipped slots really are silent, so
+            // they stay accounted (and traced, when tracing, as a single
+            // run-length record): `counts.total()` always equals the number
+            // of slots the run covered.
+            if polled.is_empty() && (parked.is_empty() || !jammer_strikes_idle) {
+                let mut next_event = u64::MAX;
+                if next_pending < by_release.len() {
+                    next_event = self.jobs[by_release[next_pending]].spec.release;
+                }
+                if let Some(wake) = parked.next_wake() {
+                    next_event = next_event.min(wake);
+                }
+                if next_event > slot {
+                    let until = next_event.min(max_slots);
+                    let gap = until - slot;
+                    counts.silent += gap;
                     if let Some(trace) = trace.as_mut() {
-                        for s in slot..until {
-                            trace.push(SlotRecord {
-                                slot: s,
-                                outcome: SlotOutcome::Silent,
-                                live_jobs: 0,
-                                declared_contention: 0.0,
-                                payload: None,
-                            });
-                        }
+                        trace.push(SlotRecord {
+                            slot,
+                            outcome: if gap == 1 {
+                                SlotOutcome::Silent
+                            } else {
+                                SlotOutcome::SilentGap { len: gap }
+                            },
+                            live_jobs: parked.len() as u32,
+                            declared_contention: 0.0,
+                            payload: None,
+                        });
                     }
                     slot = until;
                     if slot == max_slots {
@@ -263,6 +325,9 @@ impl Engine {
                     }
                 }
             }
+
+            // 0. Wake parked jobs whose slot arrived.
+            parked.pop_due(slot, &mut polled);
 
             // 1. Activate arrivals.
             while next_pending < by_release.len()
@@ -273,21 +338,30 @@ impl Engine {
                 let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
                 let job = &mut self.jobs[idx];
                 job.protocol.on_activate(&ctx, &mut job.rng);
-                live.push(idx);
+                polled.push(idx);
             }
 
-            // 2. Collect actions.
+            // 2. Collect actions. `tx_probability` is purely diagnostic, so
+            // its virtual call (and the contention sum) is skipped entirely
+            // when no trace records it.
             scratch.transmitters.clear();
             scratch.listeners.clear();
+            let recording = trace.is_some();
             let mut declared_contention = 0.0f64;
-            for &idx in &live {
+            for &idx in &polled {
                 let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
                 let job = &mut self.jobs[idx];
                 let action = job.protocol.act(&ctx, &mut job.rng);
-                let declared = job.protocol.tx_probability(&ctx);
+                let declared = if recording {
+                    job.protocol.tx_probability(&ctx)
+                } else {
+                    None
+                };
                 match action {
                     Action::Transmit(payload) => {
-                        declared_contention += declared.unwrap_or(1.0);
+                        if recording {
+                            declared_contention += declared.unwrap_or(1.0);
+                        }
                         job.accesses.transmissions += 1;
                         scratch.transmitters.push((idx, payload));
                         // Transmitters also observe the slot (they learn
@@ -295,12 +369,16 @@ impl Engine {
                         scratch.listeners.push(idx);
                     }
                     Action::Listen => {
-                        declared_contention += declared.unwrap_or(0.0);
+                        if recording {
+                            declared_contention += declared.unwrap_or(0.0);
+                        }
                         job.accesses.listens += 1;
                         scratch.listeners.push(idx);
                     }
                     Action::Sleep => {
-                        declared_contention += declared.unwrap_or(0.0);
+                        if recording {
+                            declared_contention += declared.unwrap_or(0.0);
+                        }
                     }
                 }
             }
@@ -364,7 +442,7 @@ impl Engine {
                 trace.push(SlotRecord {
                     slot,
                     outcome,
-                    live_jobs: live.len() as u32,
+                    live_jobs: (polled.len() + parked.len()) as u32,
                     declared_contention,
                     payload: feedback.payload().copied(),
                 });
@@ -388,14 +466,34 @@ impl Engine {
                     job.outcome = Some(JobOutcome::Success { slot });
                 }
             }
-            live.retain(|&idx| {
+            polled.retain(|&idx| {
                 let job = &mut self.jobs[idx];
                 let window_over = slot + 1 >= job.spec.deadline;
                 let finished = job.outcome.is_some() || job.protocol.is_done() || window_over;
-                if finished && job.outcome.is_none() {
-                    job.outcome = Some(JobOutcome::Missed);
+                if finished {
+                    if job.outcome.is_none() {
+                        job.outcome = Some(JobOutcome::Missed);
+                    }
+                    return false;
                 }
-                !finished
+                if event_driven {
+                    let ctx = Self::ctx_of(&self.config, &job.spec, slot);
+                    if let Some(wake_local) = job.protocol.next_wake(&ctx) {
+                        // Clamp into the window so the job is awake for its
+                        // last slot and retires through the normal deadline
+                        // check, exactly as under dense polling.
+                        let wake = job
+                            .spec
+                            .release
+                            .saturating_add(wake_local)
+                            .min(job.spec.deadline - 1);
+                        if wake > slot + 1 {
+                            parked.push(wake, idx);
+                            return false;
+                        }
+                    }
+                }
+                true
             });
 
             slot += 1;

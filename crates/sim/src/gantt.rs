@@ -46,6 +46,9 @@ fn channel_char(rec: &SlotRecord) -> char {
         SlotOutcome::Success { .. } => 'S',
         SlotOutcome::Collision { .. } => 'x',
         SlotOutcome::Jammed { .. } => '!',
+        // Only the gap's first slot carries a record; the rest of the run
+        // keeps the channel row's silent default.
+        SlotOutcome::SilentGap { .. } => '·',
     }
 }
 

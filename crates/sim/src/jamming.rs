@@ -128,6 +128,14 @@ impl Jammer {
     pub fn policy(&self) -> JamPolicy {
         self.policy
     }
+
+    /// True when the policy can attempt a jam (and therefore draws adversary
+    /// randomness) on a slot with no transmission. Such policies make even
+    /// silent stretches observable, so the engine must not fast-forward
+    /// across them while parked jobs are still live.
+    pub fn strikes_idle(&self) -> bool {
+        matches!(self.policy, JamPolicy::Random { .. })
+    }
 }
 
 #[cfg(test)]

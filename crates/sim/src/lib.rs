@@ -75,12 +75,13 @@ pub mod message;
 pub mod metrics;
 pub mod rng;
 pub mod runner;
+pub mod sched;
 pub mod slot;
 pub mod trace;
 
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
-    pub use crate::engine::{Action, Engine, EngineConfig, JobCtx, Protocol};
+    pub use crate::engine::{Action, Engine, EngineConfig, JobCtx, Protocol, Scheduling};
     pub use crate::jamming::{JamPolicy, Jammer};
     pub use crate::job::{JobId, JobSpec};
     pub use crate::message::{ControlMsg, Payload};

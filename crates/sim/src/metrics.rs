@@ -36,7 +36,10 @@ impl JobOutcome {
 /// Per-slot channel activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlotCounts {
-    /// Slots with no transmission and no jam.
+    /// Slots with no transmission and no jam. Slots the engine fast-forwards
+    /// over (idle gaps between arrivals, stretches where every live job is
+    /// parked on a wake hint) are accumulated here in O(1), so `total()`
+    /// always equals the number of slots the run covered.
     pub silent: u64,
     /// Slots that delivered a message.
     pub success: u64,

@@ -7,7 +7,6 @@
 //! seed, so results are independent of thread count and scheduling.
 
 use crate::rng::SeedSeq;
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -106,35 +105,53 @@ where
 {
     let started = Instant::now();
     let seeds = SeedSeq::new(master_seed);
-    let results: Mutex<Vec<TrialOutcome<T>>> = Mutex::new(Vec::with_capacity(trials as usize));
     let next = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
     let workers = worker_count(trials);
 
+    // Each worker accumulates its outcomes privately; they are merged by
+    // trial index into a pre-sized table at join. No lock on the trial
+    // hot path, and no final sort.
+    let mut slots: Vec<Option<TrialOutcome<T>>> = Vec::new();
+    slots.resize_with(trials as usize, || None);
+
     crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                // Work-stealing via a shared atomic counter: trials can have
-                // very uneven durations (window sizes span decades), so
-                // static striping would leave threads idle.
-                loop {
-                    let trial = next.fetch_add(1, Ordering::Relaxed);
-                    if trial >= trials {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    // Work-stealing via a shared atomic counter: trials can
+                    // have very uneven durations (window sizes span
+                    // decades), so static striping would leave threads idle.
+                    let mut mine = Vec::new();
+                    loop {
+                        let trial = next.fetch_add(1, Ordering::Relaxed);
+                        if trial >= trials {
+                            break;
+                        }
+                        let seed = seeds.trial(trial).master();
+                        let value = f(trial, seed);
+                        mine.push(TrialOutcome { trial, seed, value });
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        progress(done, trials);
                     }
-                    let seed = seeds.trial(trial).master();
-                    let value = f(trial, seed);
-                    results.lock().push(TrialOutcome { trial, seed, value });
-                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    progress(done, trials);
-                }
-            });
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for outcome in h.join().expect("monte-carlo worker panicked") {
+                let idx = outcome.trial as usize;
+                debug_assert!(slots[idx].is_none(), "trial {idx} ran twice");
+                slots[idx] = Some(outcome);
+            }
         }
     })
-    .expect("monte-carlo worker panicked");
+    .expect("monte-carlo scope failed");
 
-    let mut out = results.into_inner();
-    out.sort_by_key(|r| r.trial);
+    let out: Vec<TrialOutcome<T>> = slots
+        .into_iter()
+        .map(|s| s.expect("every claimed trial completes"))
+        .collect();
     let stats = RunStats {
         wall: started.elapsed(),
         trials,

@@ -1,0 +1,90 @@
+//! Wake-slot calendar for the event-driven engine.
+//!
+//! Protocols that know their next active slot (see
+//! [`crate::engine::Protocol::next_wake`]) are *parked*: the engine removes
+//! them from the per-slot polling set and records the slot at which they next
+//! need an `act()` call here. The queue is a calendar keyed by absolute slot;
+//! a `BTreeMap` keeps `peek`/`pop` cheap and stays robust under the engine's
+//! arbitrary fast-forward jumps (idle gaps and all-parked stretches can skip
+//! millions of slots at once).
+
+use std::collections::BTreeMap;
+
+/// A calendar of parked jobs keyed by absolute wake slot.
+///
+/// Values are indices into the engine's job table. Within one wake slot,
+/// jobs pop in insertion order, so wake order is deterministic.
+#[derive(Debug, Default)]
+pub struct WakeQueue {
+    calendar: BTreeMap<u64, Vec<usize>>,
+    parked: usize,
+}
+
+impl WakeQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park `job` until `slot`.
+    pub fn push(&mut self, slot: u64, job: usize) {
+        self.calendar.entry(slot).or_default().push(job);
+        self.parked += 1;
+    }
+
+    /// The earliest wake slot, if any job is parked.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.calendar.keys().next().copied()
+    }
+
+    /// Move every job due at or before `slot` into `out`.
+    pub fn pop_due(&mut self, slot: u64, out: &mut Vec<usize>) {
+        while let Some((&due, _)) = self.calendar.first_key_value() {
+            if due > slot {
+                break;
+            }
+            let jobs = self.calendar.remove(&due).expect("key just observed");
+            self.parked -= jobs.len();
+            out.extend(jobs);
+        }
+    }
+
+    /// Number of parked jobs.
+    pub fn len(&self) -> usize {
+        self.parked
+    }
+
+    /// True when no job is parked.
+    pub fn is_empty(&self) -> bool {
+        self.parked == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_slot_then_insertion_order() {
+        let mut q = WakeQueue::new();
+        q.push(7, 2);
+        q.push(3, 1);
+        q.push(7, 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_wake(), Some(3));
+
+        let mut out = Vec::new();
+        q.pop_due(2, &mut out);
+        assert!(out.is_empty());
+        q.pop_due(3, &mut out);
+        assert_eq!(out, vec![1]);
+        assert_eq!(q.next_wake(), Some(7));
+
+        out.clear();
+        // A fast-forward past several wake slots drains all of them.
+        q.pop_due(100, &mut out);
+        assert_eq!(out, vec![2, 0]);
+        assert!(q.is_empty());
+        assert_eq!(q.next_wake(), None);
+    }
+}

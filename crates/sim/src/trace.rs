@@ -31,6 +31,15 @@ pub enum SlotOutcome {
         /// Number of transmissions the jam obscured.
         n_tx: u32,
     },
+    /// A run of `len >= 2` consecutive silent slots starting at the record's
+    /// `slot`, emitted by the engine's fast-forward over stretches where no
+    /// job needed polling (idle gaps between arrivals, or every live job
+    /// parked). Run-length encoding keeps trace memory proportional to
+    /// *active* slots rather than the horizon.
+    SilentGap {
+        /// Number of consecutive silent slots covered.
+        len: u64,
+    },
 }
 
 /// A full record of one slot.
@@ -58,6 +67,24 @@ impl SlotRecord {
     pub fn is_data_success(&self) -> bool {
         matches!(self.outcome, SlotOutcome::Success { was_data: true, .. })
     }
+
+    /// Number of consecutive slots this record covers, starting at `slot`:
+    /// 1 for every outcome except [`SlotOutcome::SilentGap`].
+    pub fn covered_slots(&self) -> u64 {
+        match self.outcome {
+            SlotOutcome::SilentGap { len } => len,
+            _ => 1,
+        }
+    }
+
+    /// True if the record carries no transmission (a single silent slot or a
+    /// silent gap).
+    pub fn is_silent(&self) -> bool {
+        matches!(
+            self.outcome,
+            SlotOutcome::Silent | SlotOutcome::SilentGap { .. }
+        )
+    }
 }
 
 /// Summary statistics computable from a trace; used by tests and the
@@ -83,6 +110,7 @@ pub fn tally(trace: &[SlotRecord]) -> TraceTally {
             SlotOutcome::Success { .. } => t.success += 1,
             SlotOutcome::Collision { .. } => t.collision += 1,
             SlotOutcome::Jammed { .. } => t.jammed += 1,
+            SlotOutcome::SilentGap { len } => t.silent += len,
         }
     }
     t
@@ -116,17 +144,30 @@ mod tests {
             rec(2, SlotOutcome::Collision { n_tx: 3 }),
             rec(3, SlotOutcome::Jammed { n_tx: 1 }),
             rec(4, SlotOutcome::Silent),
+            rec(5, SlotOutcome::SilentGap { len: 1000 }),
         ];
         let t = tally(&trace);
         assert_eq!(
             t,
             TraceTally {
-                silent: 2,
+                silent: 1002,
                 success: 1,
                 collision: 1,
                 jammed: 1
             }
         );
+    }
+
+    #[test]
+    fn gap_records_cover_their_run_length() {
+        let gap = rec(10, SlotOutcome::SilentGap { len: 42 });
+        assert_eq!(gap.covered_slots(), 42);
+        assert!(gap.is_silent());
+        assert!(!gap.is_data_success());
+        let plain = rec(0, SlotOutcome::Silent);
+        assert_eq!(plain.covered_slots(), 1);
+        assert!(plain.is_silent());
+        assert!(!rec(1, SlotOutcome::Collision { n_tx: 2 }).is_silent());
     }
 
     #[test]

@@ -62,11 +62,7 @@ fn main() {
     let trace = punctual.trace.as_ref().unwrap();
     let busy_pairs = trace
         .windows(2)
-        .filter(|w| {
-            !matches!(w[0].outcome, SlotOutcome::Silent)
-                && !matches!(w[1].outcome, SlotOutcome::Silent)
-                && w[1].slot == w[0].slot + 1
-        })
+        .filter(|w| !w[0].is_silent() && !w[1].is_silent() && w[1].slot == w[0].slot + 1)
         .count();
     println!(
         "\nround machinery: {} busy start-pairs observed across {} slots \

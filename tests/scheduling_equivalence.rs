@@ -1,0 +1,389 @@
+//! Event-driven vs dense scheduling equivalence.
+//!
+//! The wake-hint contract ([`Protocol::next_wake`]) promises that every
+//! skipped `act()` call would have returned `Sleep` without drawing
+//! randomness or mutating state. If any protocol's hint is wrong — too
+//! eager by one slot, blind to a state transition, or misaligned with its
+//! RNG draw schedule — the two scheduling modes diverge in outcomes,
+//! channel counts, access counts, or trace tallies. This suite pins the
+//! equivalence for every protocol in the workspace, across jammer
+//! policies, on fixed seed grids and on proptest-generated populations.
+//!
+//! `declared_contention` is deliberately *not* compared: parked jobs are
+//! not polled for their diagnostic `tx_probability`, so the per-slot
+//! contention sum legitimately differs between modes.
+
+use contention_deadlines::baselines::scheduled::scheduled_protocols;
+use contention_deadlines::baselines::windowed::{Schedule, WindowedBackoff};
+use contention_deadlines::baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
+use contention_deadlines::protocols::{
+    AlignedParams, AlignedProtocol, PunctualParams, PunctualProtocol, Uniform,
+};
+use contention_deadlines::sim::engine::{Engine, EngineConfig, Protocol};
+use contention_deadlines::sim::jamming::{JamPolicy, Jammer};
+use contention_deadlines::sim::job::JobSpec;
+use contention_deadlines::sim::metrics::SimReport;
+use contention_deadlines::sim::trace::tally;
+use contention_deadlines::workloads::generators::{aligned_classes, batch, poisson, ClassSpec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Run the same simulation under both scheduling modes and assert every
+/// non-diagnostic observable matches bit-for-bit.
+fn assert_equiv<F>(label: &str, base: EngineConfig, jammer: Option<&Jammer>, seed: u64, setup: F)
+where
+    F: Fn(&mut Engine),
+{
+    let run = |config: EngineConfig| -> SimReport {
+        let mut engine = Engine::new(config.with_trace(), seed);
+        if let Some(j) = jammer {
+            engine.set_jammer(j.clone());
+        }
+        setup(&mut engine);
+        engine.run()
+    };
+    let event = run(base.clone());
+    let dense = run(base.dense());
+
+    assert_eq!(
+        event.outcomes(),
+        dense.outcomes(),
+        "{label}: outcomes diverge (seed {seed})"
+    );
+    assert_eq!(
+        event.counts, dense.counts,
+        "{label}: slot counts diverge (seed {seed})"
+    );
+    assert_eq!(
+        event.accesses, dense.accesses,
+        "{label}: access counts diverge (seed {seed})"
+    );
+    assert_eq!(
+        event.slots_run, dense.slots_run,
+        "{label}: slots_run diverges (seed {seed})"
+    );
+    let (et, dt) = (
+        tally(event.trace.as_ref().unwrap()),
+        tally(dense.trace.as_ref().unwrap()),
+    );
+    assert_eq!(et, dt, "{label}: trace tallies diverge (seed {seed})");
+}
+
+/// The jammer grid: every policy, including the idle-striking `Random`
+/// adversary that disables all-parked fast-forwarding.
+fn jammers() -> Vec<(&'static str, Option<Jammer>)> {
+    vec![
+        ("clean", None),
+        ("all", Some(Jammer::new(JamPolicy::AllSuccesses, 0.4))),
+        ("ctrl", Some(Jammer::new(JamPolicy::ControlOnly, 0.6))),
+        ("data", Some(Jammer::new(JamPolicy::DataOnly, 0.5))),
+        (
+            "random",
+            Some(Jammer::new(JamPolicy::Random { attempt: 0.1 }, 0.5)),
+        ),
+    ]
+}
+
+fn staggered(n: u32, spread: u64, w: u64) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            let r = u64::from(i) * spread % (w / 2);
+            JobSpec::new(i, r, r + w)
+        })
+        .collect()
+}
+
+#[test]
+fn uniform_matches_dense() {
+    for attempts in [1usize, 3] {
+        for (jname, jammer) in jammers() {
+            for seed in 0..8u64 {
+                assert_equiv(
+                    &format!("uniform k={attempts} jam={jname}"),
+                    EngineConfig::default(),
+                    jammer.as_ref(),
+                    seed,
+                    |e| {
+                        for spec in staggered(12, 37, 1 << 10) {
+                            e.add_job(spec, Box::new(Uniform::new(attempts)));
+                        }
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduled_slots_match_dense() {
+    let jobs: Vec<JobSpec> = batch(16, 64).jobs;
+    let protos = scheduled_protocols(&jobs).expect("batch instance is EDF-feasible");
+    for (jname, jammer) in jammers() {
+        for seed in 0..4u64 {
+            assert_equiv(
+                &format!("scheduled jam={jname}"),
+                EngineConfig::default(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    for (spec, p) in jobs.iter().zip(&protos) {
+                        e.add_job(*spec, Box::new(*p));
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_backoff_matches_dense() {
+    let schedules = [
+        ("geometric", Schedule::Geometric { base: 2, first: 2 }),
+        ("linear", Schedule::Linear { first: 4, step: 4 }),
+        ("quadratic", Schedule::Quadratic { first: 2 }),
+        ("fixed", Schedule::Fixed { size: 16 }),
+    ];
+    for (sname, schedule) in schedules {
+        for (jname, jammer) in jammers() {
+            for seed in 0..4u64 {
+                assert_equiv(
+                    &format!("windowed {sname} jam={jname}"),
+                    EngineConfig::default(),
+                    jammer.as_ref(),
+                    seed,
+                    |e| {
+                        for spec in staggered(10, 53, 2048) {
+                            e.add_job(spec, Box::new(WindowedBackoff::new(schedule)));
+                        }
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sawtooth_matches_dense() {
+    for (jname, jammer) in jammers() {
+        for seed in 0..6u64 {
+            assert_equiv(
+                &format!("sawtooth jam={jname}"),
+                EngineConfig::default(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    for spec in staggered(8, 29, 4096) {
+                        e.add_job(spec, Box::new(Sawtooth::new()));
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn beb_matches_dense() {
+    for (jname, jammer) in jammers() {
+        for seed in 0..6u64 {
+            assert_equiv(
+                &format!("beb jam={jname}"),
+                EngineConfig::default(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    for spec in staggered(10, 41, 2048) {
+                        e.add_job(spec, Box::new(BinaryExponentialBackoff::new()));
+                    }
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn hintless_protocol_matches_dense() {
+    // FixedProbability opts out of wake hints (next_wake = None), so
+    // event-driven mode degrades to dense polling for it: trivially
+    // equivalent, but worth pinning since mixed populations rely on it.
+    for seed in 0..4u64 {
+        assert_equiv("aloha", EngineConfig::default(), None, seed, |e| {
+            for spec in staggered(6, 17, 512) {
+                e.add_job(spec, Box::new(FixedProbability::new(0.05)));
+            }
+        });
+    }
+}
+
+#[test]
+fn aligned_matches_dense() {
+    let params = AlignedParams::new(1, 2, 8);
+    let instance = aligned_classes(
+        &[
+            ClassSpec {
+                class: 8,
+                jobs_per_window: 3,
+            },
+            ClassSpec {
+                class: 10,
+                jobs_per_window: 4,
+            },
+        ],
+        1 << 11,
+        None,
+    );
+    for (jname, jammer) in jammers() {
+        for seed in 0..4u64 {
+            assert_equiv(
+                &format!("aligned jam={jname}"),
+                EngineConfig::aligned(),
+                jammer.as_ref(),
+                seed,
+                |e| e.add_jobs(&instance.jobs, AlignedProtocol::factory(params)),
+            );
+        }
+    }
+}
+
+#[test]
+fn punctual_matches_dense() {
+    let params = PunctualParams::laptop();
+    let jobs = staggered(8, 113, 1 << 13);
+    for (jname, jammer) in jammers() {
+        for seed in 0..3u64 {
+            assert_equiv(
+                &format!("punctual jam={jname}"),
+                EngineConfig::default(),
+                jammer.as_ref(),
+                seed,
+                |e| e.add_jobs(&jobs, PunctualProtocol::factory(params)),
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_population_matches_dense() {
+    // Hinting and hintless protocols sharing one channel: parked jobs must
+    // keep hearing nothing while polled neighbours transact.
+    for (jname, jammer) in jammers() {
+        for seed in 0..4u64 {
+            assert_equiv(
+                &format!("mixed jam={jname}"),
+                EngineConfig::default(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    let w = 1 << 11;
+                    let mut id = 0u32;
+                    let mut add = |e: &mut Engine, r: u64, p: Box<dyn Protocol>| {
+                        e.add_job(JobSpec::new(id, r, r + w), p);
+                        id += 1;
+                    };
+                    add(e, 0, Box::new(Uniform::new(1)));
+                    add(e, 13, Box::new(Sawtooth::new()));
+                    add(e, 13, Box::new(BinaryExponentialBackoff::new()));
+                    add(e, 64, Box::new(FixedProbability::new(0.02)));
+                    add(
+                        e,
+                        77,
+                        Box::new(WindowedBackoff::new(Schedule::Geometric {
+                            base: 2,
+                            first: 2,
+                        })),
+                    );
+                    add(e, 150, Box::new(Uniform::new(3)));
+                    add(e, 200, Box::new(Sawtooth::new()));
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn poisson_punctual_matches_dense() {
+    // Arrival-driven population with idle gaps between bursts: exercises
+    // the interaction of idle fast-forward with parked wake slots.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let instance = poisson(0.005, 1 << 13, &[1 << 12, 1 << 13], &mut rng);
+    if instance.jobs.is_empty() {
+        return;
+    }
+    let params = PunctualParams::laptop();
+    for seed in 0..3u64 {
+        assert_equiv(
+            "poisson-punctual",
+            EngineConfig::default(),
+            None,
+            seed,
+            |e| e.add_jobs(&instance.jobs, PunctualProtocol::factory(params)),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed populations, windows, releases, and jammers: the two
+    /// scheduling modes must agree on every observable.
+    #[test]
+    fn random_population_equivalence(
+        seed in 0u64..1_000_000,
+        n in 1usize..10,
+        log_w in 6u32..12,
+        jam_kind in 0usize..5,
+        proto_picks in proptest::collection::vec(0usize..6, 10..11),
+        releases in proptest::collection::vec(0u64..512, 10..11),
+    ) {
+        let w = 1u64 << log_w;
+        let jammer = match jam_kind {
+            0 => None,
+            1 => Some(Jammer::new(JamPolicy::AllSuccesses, 0.3)),
+            2 => Some(Jammer::new(JamPolicy::ControlOnly, 0.5)),
+            3 => Some(Jammer::new(JamPolicy::DataOnly, 0.5)),
+            _ => Some(Jammer::new(JamPolicy::Random { attempt: 0.05 }, 0.5)),
+        };
+        assert_equiv(
+            "proptest-mixed",
+            EngineConfig::default(),
+            jammer.as_ref(),
+            seed,
+            |e| {
+                for i in 0..n {
+                    let spec = JobSpec::new(i as u32, releases[i], releases[i] + w);
+                    let protocol: Box<dyn Protocol> = match proto_picks[i] {
+                        0 => Box::new(Uniform::new(1)),
+                        1 => Box::new(Uniform::new(2)),
+                        2 => Box::new(Sawtooth::new()),
+                        3 => Box::new(BinaryExponentialBackoff::new()),
+                        4 => Box::new(WindowedBackoff::new(
+                            Schedule::Geometric { base: 2, first: 1 },
+                        )),
+                        _ => Box::new(FixedProbability::new(0.03)),
+                    };
+                    e.add_job(spec, protocol);
+                }
+            },
+        );
+    }
+
+    /// Random PUNCTUAL populations: the protocol with the most intricate
+    /// wake mask (round-position dependent, phase-dependent) on random
+    /// staggered windows.
+    #[test]
+    fn random_punctual_equivalence(
+        seed in 0u64..1_000_000,
+        n in 2u32..7,
+        spread in 1u64..200,
+    ) {
+        let params = PunctualParams::laptop();
+        let jobs = staggered(n, spread, 1 << 12);
+        assert_equiv(
+            "proptest-punctual",
+            EngineConfig::default(),
+            None,
+            seed,
+            |e| e.add_jobs(&jobs, PunctualProtocol::factory(params)),
+        );
+    }
+}
