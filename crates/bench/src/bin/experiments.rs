@@ -1,11 +1,12 @@
 //! CLI entry point: regenerate the paper's figures and claim tables.
 //!
 //! ```text
-//! experiments [IDS…] [--quick] [--seed N] [--trials N] [--out DIR]
-//!             [--json DIR] [--list]
+//! experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] [--trials N]
+//!             [--out DIR] [--json DIR] [--list]
 //! ```
 //!
-//! With no ids, runs the full suite in order. Every run prints its seed;
+//! With no ids, runs the full suite in order; `--only` selects experiments
+//! explicitly (same as positional ids, comma lists accepted). Every run prints its seed;
 //! re-running with `--seed` reproduces output bit-for-bit. `--out DIR`
 //! additionally writes each experiment's report to `DIR/<id>.txt`;
 //! `--json DIR` writes the structured artifact to `DIR/<id>.json` plus a
@@ -101,6 +102,14 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage_error("--trials must be an integer"));
             }
+            "--only" => {
+                // Explicit selection flag (equivalent to positional ids;
+                // accepts comma-separated lists for script friendliness).
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--only needs an experiment id"));
+                ids.extend(v.split(',').map(|s| s.trim().to_string()));
+            }
             "--list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -109,8 +118,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [IDS…] [--quick] [--seed N] [--trials N] \
-                     [--out DIR] [--json DIR] [--list]\nids: {}",
+                    "usage: experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] \
+                     [--trials N] [--out DIR] [--json DIR] [--list]\nids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;

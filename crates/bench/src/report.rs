@@ -67,10 +67,33 @@ impl ReportBuilder {
         self
     }
 
-    /// Record an exact (CI-free) metric value for one cell.
+    /// Reject non-finite measurements before they reach the artifact:
+    /// serde_json serializes NaN/∞ as `null`, which silently corrupts
+    /// `--json` artifacts and the CI perf-smoke baseline comparison. Loud
+    /// in debug builds; in release the row is dropped with a warning so a
+    /// long sweep still completes.
+    fn finite_or_warn(cell: &str, metric: &str, values: &[f64]) -> bool {
+        let ok = values.iter().all(|v| v.is_finite());
+        debug_assert!(
+            ok,
+            "non-finite metric row {cell}/{metric}: {values:?} \
+             (would serialize as null in the JSON artifact)"
+        );
+        if !ok {
+            eprintln!("warning: dropping non-finite metric row {cell}/{metric}: {values:?}");
+        }
+        ok
+    }
+
+    /// Record an exact (CI-free) metric value for one cell. Non-finite
+    /// values are rejected (see [`ReportBuilder::finite_or_warn`]).
     pub fn row(&mut self, cell: impl Display, metric: &str, value: f64) -> &mut Self {
+        let cell = cell.to_string();
+        if !Self::finite_or_warn(&cell, metric, &[value]) {
+            return self;
+        }
         self.report.rows.push(MetricRow {
-            cell: cell.to_string(),
+            cell,
             metric: metric.to_string(),
             value,
             ci_lo: None,
@@ -81,7 +104,8 @@ impl ReportBuilder {
     }
 
     /// Record an estimated metric with an explicit confidence interval and
-    /// sample count.
+    /// sample count. Non-finite values or interval endpoints are rejected
+    /// (see [`ReportBuilder::finite_or_warn`]).
     pub fn row_ci(
         &mut self,
         cell: impl Display,
@@ -90,8 +114,12 @@ impl ReportBuilder {
         ci: (f64, f64),
         n: u64,
     ) -> &mut Self {
+        let cell = cell.to_string();
+        if !Self::finite_or_warn(&cell, metric, &[value, ci.0, ci.1]) {
+            return self;
+        }
         self.report.rows.push(MetricRow {
-            cell: cell.to_string(),
+            cell,
             metric: metric.to_string(),
             value,
             ci_lo: Some(ci.0),
@@ -189,6 +217,42 @@ mod tests {
         let row = r.row("cell_c", "proportion").unwrap();
         assert_eq!(row.n, Some(60));
         assert!(row.ci_lo.unwrap() < 0.5 && row.ci_hi.unwrap() > 0.5);
+    }
+
+    // Regression for the NaN-to-null artifact corruption: a non-finite
+    // metric (e.g. `SimReport::mean_transmissions()` on an empty instance)
+    // must never reach the JSON artifact. Debug builds fail fast at the
+    // measurement site; release builds drop the row and keep going.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite metric row"))]
+    fn non_finite_row_never_reaches_the_artifact() {
+        let cfg = ExpConfig::quick();
+        let mut b = ReportBuilder::new("e0", "demo", &cfg);
+        b.row("empty", "mean_tx", f64::NAN);
+        // Only reached in release builds (debug panics above): the row was
+        // dropped, so nothing non-finite can serialize as null.
+        let out = b.finish("t".into());
+        assert!(out.report.rows.is_empty());
+        assert!(serde_json::to_string(&out.report)
+            .unwrap()
+            .contains("\"rows\":[]"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite metric row"))]
+    fn non_finite_ci_endpoint_never_reaches_the_artifact() {
+        let cfg = ExpConfig::quick();
+        let mut b = ReportBuilder::new("e0", "demo", &cfg);
+        b.row_ci("cell", "m", 0.5, (f64::NEG_INFINITY, 0.6), 10);
+        assert!(b.finish("t".into()).report.rows.is_empty());
+    }
+
+    #[test]
+    fn finite_rows_still_pass_the_guard() {
+        let cfg = ExpConfig::quick();
+        let mut b = ReportBuilder::new("e0", "demo", &cfg);
+        b.row("c", "m", 0.0).row_ci("c", "m2", 1.0, (0.9, 1.1), 5);
+        assert_eq!(b.finish("t".into()).report.rows.len(), 2);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::jamming::{Jammer, SlotView};
 use crate::job::{JobId, JobSpec};
 use crate::message::Payload;
-use crate::metrics::{AccessCounts, JobOutcome, SimReport, SlotCounts};
+use crate::metrics::{AccessCounts, JamStats, JobOutcome, SimReport, SlotCounts};
 use crate::rng::{SeedSeq, StreamLabel};
 use crate::sched::WakeQueue;
 use crate::slot::Feedback;
@@ -273,9 +273,11 @@ impl Engine {
         let mut polled: Vec<usize> = Vec::with_capacity(self.jobs.len());
         let mut parked = WakeQueue::new();
         let event_driven = self.config.scheduling == Scheduling::EventDriven;
-        // A jammer that can strike silent slots draws adversary randomness
-        // every slot, so all-parked stretches cannot be skipped without
+        // An adversary that can strike silent slots draws randomness every
+        // slot, so all-parked stretches cannot be skipped without
         // desynchronizing (and silencing) it; such slots run one by one.
+        // This keys off the `Adversary` trait's declaration, not any
+        // concrete policy, so new idle-striking adversaries gate correctly.
         let jammer_strikes_idle = self.jammer.strikes_idle();
         let mut scratch = SlotScratch::default();
         let mut counts = SlotCounts::default();
@@ -306,6 +308,9 @@ impl Engine {
                     let until = next_event.min(max_slots);
                     let gap = until - slot;
                     counts.silent += gap;
+                    // Stateful adversaries observe the skipped silence in
+                    // bulk (contract: identical to per-slot rejections).
+                    self.jammer.on_silent_gap(gap);
                     if let Some(trace) = trace.as_mut() {
                         trace.push(SlotRecord {
                             slot,
@@ -513,6 +518,10 @@ impl Engine {
             counts,
             accesses,
             slot,
+            JamStats {
+                attempted: self.jammer.attempted(),
+                succeeded: self.jammer.succeeded(),
+            },
             self.seeds.master(),
             started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             trace,
@@ -651,6 +660,61 @@ mod tests {
         assert_eq!(r.outcome(0), JobOutcome::Missed);
         assert_eq!(r.counts.jammed, 1);
         assert_eq!(r.counts.success, 0);
+    }
+
+    #[test]
+    fn jam_attempts_surface_in_report() {
+        // p_jam = 0 means every attempt fails: counts.jammed stays 0, yet
+        // the attempt is still visible in jam_stats (the whole point of
+        // surfacing adversary counters).
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.set_jammer(Jammer::new(JamPolicy::AllSuccesses, 0.0));
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+        let r = e.run();
+        assert!(r.outcome(0).is_success());
+        assert_eq!(r.counts.jammed, 0);
+        assert_eq!(r.jam_stats.attempted, 1);
+        assert_eq!(r.jam_stats.succeeded, 0);
+    }
+
+    #[test]
+    fn jam_stats_agree_with_slot_counts() {
+        let mut e = Engine::new(EngineConfig::default(), 7);
+        e.set_jammer(Jammer::new(JamPolicy::AllSuccesses, 1.0));
+        for id in 0..4 {
+            e.add_job(
+                JobSpec::new(id, u64::from(id) * 8, u64::from(id) * 8 + 8),
+                Box::new(AtLocal(2)),
+            );
+        }
+        let r = e.run();
+        assert_eq!(r.jam_stats.succeeded, r.counts.jammed);
+        assert_eq!(r.jam_stats.attempted, 4);
+    }
+
+    #[test]
+    fn budgeted_adversary_respects_budget() {
+        use crate::jamming::BudgetedJammer;
+        // Four lone transmitters, budget 2, p_jam 1: exactly the first two
+        // successes are destroyed, then the ammunition is gone.
+        let mut e = Engine::new(EngineConfig::default(), 3);
+        e.set_jammer(Jammer::adaptive(
+            Box::new(BudgetedJammer::new(2, false)),
+            1.0,
+        ));
+        for id in 0..4 {
+            e.add_job(
+                JobSpec::new(id, u64::from(id) * 8, u64::from(id) * 8 + 8),
+                Box::new(AtLocal(1)),
+            );
+        }
+        let r = e.run();
+        assert_eq!(r.counts.jammed, 2);
+        assert_eq!(r.jam_stats.attempted, 2);
+        assert!(!r.outcome(0).is_success());
+        assert!(!r.outcome(1).is_success());
+        assert!(r.outcome(2).is_success());
+        assert!(r.outcome(3).is_success());
     }
 
     #[test]

@@ -82,10 +82,13 @@ pub mod trace;
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
     pub use crate::engine::{Action, Engine, EngineConfig, JobCtx, Protocol, Scheduling};
-    pub use crate::jamming::{JamPolicy, Jammer};
+    pub use crate::jamming::{
+        Adversary, AdversarySpec, BudgetedJammer, GilbertElliott, JamPolicy, Jammer,
+        ReactiveJammer, SlotView,
+    };
     pub use crate::job::{JobId, JobSpec};
     pub use crate::message::{ControlMsg, Payload};
-    pub use crate::metrics::{JobOutcome, SimReport, SlotCounts};
+    pub use crate::metrics::{JamStats, JobOutcome, SimReport, SlotCounts};
     pub use crate::rng::SeedSeq;
     pub use crate::runner::{run_trials, TrialOutcome};
     pub use crate::slot::Feedback;

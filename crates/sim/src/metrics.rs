@@ -76,6 +76,42 @@ impl AccessCounts {
     }
 }
 
+/// Adversary-side counters for one run: how often the jammer *attempted* a
+/// jam and how often the `p_jam` coin let the attempt succeed. Successful
+/// jams also appear as [`SlotCounts::jammed`]; attempts that failed their
+/// coin flip are visible only here, which is what makes attack efficacy
+/// (`succeeded / attempted` vs the configured `p_jam`) measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct JamStats {
+    /// Slots in which the adversary attempted a jam.
+    pub attempted: u64,
+    /// Attempts that succeeded (equals [`SlotCounts::jammed`]).
+    pub succeeded: u64,
+}
+
+// Manual impl so a missing `jam_stats` field (surfaced as `Null` by the
+// field lookup) falls back to all-zero counters: artifacts archived
+// before the adversary counters existed must still deserialize.
+impl<'de> serde::Deserialize<'de> for JamStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            attempted: u64::from_value(serde::field(v, "attempted")?)?,
+            succeeded: u64::from_value(serde::field(v, "succeeded")?)?,
+        })
+    }
+}
+
+impl JamStats {
+    /// Empirical jam success rate `succeeded / attempted`, or `None` when
+    /// the adversary never attempted (avoids manufacturing a NaN).
+    pub fn efficacy(&self) -> Option<f64> {
+        (self.attempted > 0).then(|| self.succeeded as f64 / self.attempted as f64)
+    }
+}
+
 /// The result of running one simulation to completion.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -89,6 +125,10 @@ pub struct SimReport {
     pub accesses: Vec<AccessCounts>,
     /// Number of slots simulated.
     pub slots_run: u64,
+    /// Adversary attempt/success counters (all zero on a clean channel).
+    /// Defaults on deserialization so pre-existing artifacts still load.
+    #[serde(default)]
+    pub jam_stats: JamStats,
     /// The master seed used (for replay).
     pub seed: u64,
     /// Wall-clock nanoseconds the engine spent in its slot loop. Volatile
@@ -108,6 +148,7 @@ impl SimReport {
         counts: SlotCounts,
         accesses: Vec<AccessCounts>,
         slots_run: u64,
+        jam_stats: JamStats,
         seed: u64,
         engine_nanos: u64,
         trace: Option<Vec<SlotRecord>>,
@@ -118,6 +159,7 @@ impl SimReport {
             counts,
             accesses,
             slots_run,
+            jam_stats,
             seed,
             engine_nanos,
             trace,
@@ -254,6 +296,10 @@ mod tests {
                 },
             ],
             8,
+            JamStats {
+                attempted: 2,
+                succeeded: 1,
+            },
             42,
             4_000,
             None,
@@ -287,9 +333,23 @@ mod tests {
         assert_eq!(report().counts.total(), 8);
     }
 
+    fn empty() -> SimReport {
+        SimReport::new(
+            vec![],
+            vec![],
+            SlotCounts::default(),
+            vec![],
+            0,
+            JamStats::default(),
+            0,
+            0,
+            None,
+        )
+    }
+
     #[test]
     fn empty_instance_success_fraction_is_one() {
-        let r = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, 0, None);
+        let r = empty();
         assert_eq!(r.success_fraction(), 1.0);
         assert!(r.mean_accesses().is_nan());
     }
@@ -300,8 +360,15 @@ mod tests {
         let r = report();
         assert!((r.slots_per_sec() - 2e6).abs() < 1e-6);
         // Untimed run reports zero rather than dividing by zero.
-        let z = SimReport::new(vec![], vec![], SlotCounts::default(), vec![], 0, 0, 0, None);
-        assert_eq!(z.slots_per_sec(), 0.0);
+        assert_eq!(empty().slots_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn jam_stats_efficacy() {
+        let r = report();
+        assert_eq!(r.jam_stats.efficacy(), Some(0.5));
+        // A clean channel has no attempts and therefore no efficacy.
+        assert_eq!(empty().jam_stats.efficacy(), None);
     }
 
     #[test]

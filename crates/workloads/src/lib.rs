@@ -15,7 +15,8 @@
 //!   arrivals, and arbitrary unaligned mixes;
 //! * [`adversarial`] — the recurring worst-case shapes from the
 //!   adversarial-queuing literature (rolling harmonic bursts, laminar
-//!   nests, staircases);
+//!   nests, staircases), plus attack-paired scenarios bundling an instance
+//!   with the jamming adversary built to hurt it;
 //! * [`transforms`] — window transforms: `trimmed()` (Lemma 15) and
 //!   power-of-two rounding, with their guaranteed loss factors.
 

@@ -190,6 +190,39 @@ fn jamming_composes_with_protocols_and_metrics() {
     let tally = contention_deadlines::sim::trace::tally(report.trace.as_ref().unwrap());
     assert_eq!(tally.jammed, report.counts.jammed);
     assert_eq!(tally.success, report.counts.success);
+    // Adversary counters surface in the report and reconcile too: every
+    // successful jam is an attempt that landed.
+    assert_eq!(report.jam_stats.succeeded, report.counts.jammed);
+    assert!(report.jam_stats.attempted >= report.jam_stats.succeeded);
+}
+
+#[test]
+fn jam_success_ratio_matches_configured_p_jam() {
+    // Regression for "jam attempts are lost": with the counters surfaced
+    // in SimReport, the empirical success ratio over a Monte-Carlo batch
+    // must statistically match the configured p_jam. 200 trials × ≥8
+    // attempts each gives >1600 Bernoulli(0.35) samples; the observed
+    // ratio lies within ±0.05 of 0.35 except with negligible probability.
+    let p_jam = 0.35;
+    let instance = batch(8, 1 << 11);
+    let results = run_trials(200, 0xA77E, |_, seed| {
+        let mut engine = Engine::new(EngineConfig::aligned(), seed);
+        engine.set_jammer(Jammer::new(JamPolicy::AllSuccesses, p_jam));
+        engine.add_jobs(
+            &instance.jobs,
+            AlignedProtocol::factory(AlignedParams::new(2, 2, 11)),
+        );
+        let r = engine.run();
+        (r.jam_stats.attempted, r.jam_stats.succeeded)
+    });
+    let attempted: u64 = results.iter().map(|t| t.value.0).sum();
+    let succeeded: u64 = results.iter().map(|t| t.value.1).sum();
+    assert!(attempted > 1_000, "adversary barely attempted: {attempted}");
+    let ratio = succeeded as f64 / attempted as f64;
+    assert!(
+        (ratio - p_jam).abs() < 0.05,
+        "succeeded/attempted = {succeeded}/{attempted} = {ratio:.3}, configured p_jam {p_jam}"
+    );
 }
 
 #[test]

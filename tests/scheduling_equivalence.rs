@@ -20,7 +20,9 @@ use contention_deadlines::protocols::{
     AlignedParams, AlignedProtocol, PunctualParams, PunctualProtocol, Uniform,
 };
 use contention_deadlines::sim::engine::{Engine, EngineConfig, Protocol};
-use contention_deadlines::sim::jamming::{JamPolicy, Jammer};
+use contention_deadlines::sim::jamming::{
+    BudgetedJammer, GilbertElliott, JamPolicy, Jammer, ReactiveJammer,
+};
 use contention_deadlines::sim::job::JobSpec;
 use contention_deadlines::sim::metrics::SimReport;
 use contention_deadlines::sim::trace::tally;
@@ -70,8 +72,10 @@ where
     assert_eq!(et, dt, "{label}: trace tallies diverge (seed {seed})");
 }
 
-/// The jammer grid: every policy, including the idle-striking `Random`
-/// adversary that disables all-parked fast-forwarding.
+/// The jammer grid: every stateless policy plus the stateful adversaries,
+/// including both idle-striking ones (`Random`, Gilbert–Elliott) that
+/// disable all-parked fast-forwarding and the stateful non-idle-striking
+/// reactive jammer that relies on the `on_silent_gap` replay contract.
 fn jammers() -> Vec<(&'static str, Option<Jammer>)> {
     vec![
         ("clean", None),
@@ -81,6 +85,31 @@ fn jammers() -> Vec<(&'static str, Option<Jammer>)> {
         (
             "random",
             Some(Jammer::new(JamPolicy::Random { attempt: 0.1 }, 0.5)),
+        ),
+        (
+            "budget",
+            Some(Jammer::adaptive(
+                Box::new(BudgetedJammer::new(5, false)),
+                0.7,
+            )),
+        ),
+        (
+            "budget-data",
+            Some(Jammer::adaptive(
+                Box::new(BudgetedJammer::new(3, true)),
+                1.0,
+            )),
+        ),
+        (
+            "reactive",
+            Some(Jammer::adaptive(Box::new(ReactiveJammer::new(2, 16)), 0.8)),
+        ),
+        (
+            "bursty",
+            Some(Jammer::adaptive(
+                Box::new(GilbertElliott::new(0.05, 0.2)),
+                0.6,
+            )),
         ),
     ]
 }
@@ -216,6 +245,74 @@ fn hintless_protocol_matches_dense() {
 }
 
 #[test]
+fn idle_striking_adversary_disables_gap_skip() {
+    use contention_deadlines::sim::trace::SlotOutcome;
+
+    // One lone Uniform job parks until its randomly chosen transmit slot,
+    // giving the engine a long all-parked stretch it would love to skip.
+    let spec = JobSpec::new(0, 0, 1 << 13);
+    let run = |jammer: &Jammer| {
+        let mut e = Engine::new(EngineConfig::default().with_trace(), 7);
+        e.set_jammer(jammer.clone());
+        e.add_job(spec, Box::new(Uniform::single()));
+        e.run()
+    };
+    let live_gap_skipped =
+        |r: &SimReport| {
+            r.trace.as_ref().unwrap().iter().any(|rec| {
+                matches!(rec.outcome, SlotOutcome::SilentGap { .. }) && rec.live_jobs > 0
+            })
+        };
+
+    // Gilbert–Elliott strikes idle slots: the parked stretch must run slot
+    // by slot (no SilentGap while the job is live), the bursts must land
+    // on the supposedly idle channel, and the modes must stay bit-exact.
+    let ge = Jammer::adaptive(Box::new(GilbertElliott::new(0.3, 0.3)), 1.0);
+    let r = run(&ge);
+    assert!(
+        !live_gap_skipped(&r),
+        "engine fast-forwarded past an idle-striking adversary"
+    );
+    assert!(
+        r.counts.jammed > 0,
+        "bursty faults never struck the idle channel"
+    );
+    for seed in 0..6u64 {
+        assert_equiv(
+            "ge-idle-strike",
+            EngineConfig::default(),
+            Some(&ge),
+            seed,
+            |e| {
+                e.add_job(spec, Box::new(Uniform::single()));
+            },
+        );
+    }
+
+    // Contrast: the reactive jammer is stateful but never attempts on
+    // silence, so the all-parked stretch IS skipped (the latent-bug fix
+    // must not over-disable fast-forwarding) and the bulk
+    // `on_silent_gap` replay keeps the modes bit-exact anyway.
+    let reactive = Jammer::adaptive(Box::new(ReactiveJammer::new(1, 4)), 1.0);
+    let r = run(&reactive);
+    assert!(
+        live_gap_skipped(&r),
+        "non-idle-striking adversary should not inhibit fast-forwarding"
+    );
+    for seed in 0..6u64 {
+        assert_equiv(
+            "reactive-gap-replay",
+            EngineConfig::default(),
+            Some(&reactive),
+            seed,
+            |e| {
+                e.add_job(spec, Box::new(Uniform::single()));
+            },
+        );
+    }
+}
+
+#[test]
 fn aligned_matches_dense() {
     let params = AlignedParams::new(1, 2, 8);
     let instance = aligned_classes(
@@ -331,7 +428,7 @@ proptest! {
         seed in 0u64..1_000_000,
         n in 1usize..10,
         log_w in 6u32..12,
-        jam_kind in 0usize..5,
+        jam_kind in 0usize..8,
         proto_picks in proptest::collection::vec(0usize..6, 10..11),
         releases in proptest::collection::vec(0u64..512, 10..11),
     ) {
@@ -341,7 +438,10 @@ proptest! {
             1 => Some(Jammer::new(JamPolicy::AllSuccesses, 0.3)),
             2 => Some(Jammer::new(JamPolicy::ControlOnly, 0.5)),
             3 => Some(Jammer::new(JamPolicy::DataOnly, 0.5)),
-            _ => Some(Jammer::new(JamPolicy::Random { attempt: 0.05 }, 0.5)),
+            4 => Some(Jammer::new(JamPolicy::Random { attempt: 0.05 }, 0.5)),
+            5 => Some(Jammer::adaptive(Box::new(BudgetedJammer::new(4, false)), 0.6)),
+            6 => Some(Jammer::adaptive(Box::new(ReactiveJammer::new(1, 8)), 0.7)),
+            _ => Some(Jammer::adaptive(Box::new(GilbertElliott::new(0.1, 0.3)), 0.5)),
         };
         assert_equiv(
             "proptest-mixed",

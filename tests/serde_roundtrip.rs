@@ -101,6 +101,60 @@ fn jam_policy_roundtrips() {
 }
 
 #[test]
+fn adversary_spec_roundtrips() {
+    for spec in [
+        AdversarySpec::Policy(JamPolicy::Random { attempt: 0.1 }),
+        AdversarySpec::Budgeted {
+            budget: 12,
+            data_only: true,
+        },
+        AdversarySpec::Reactive {
+            k: 3,
+            reset_gap: 32,
+        },
+        AdversarySpec::Bursty {
+            p_enter: 0.05,
+            p_exit: 0.25,
+        },
+    ] {
+        assert_eq!(roundtrip(&spec), spec);
+    }
+}
+
+#[test]
+fn sim_report_with_jam_stats_roundtrips() {
+    use contention_deadlines::protocols::Uniform;
+    let inst = batch(4, 64);
+    let mut e = Engine::new(EngineConfig::default(), 11);
+    e.set_jammer(Jammer::new(JamPolicy::AllSuccesses, 0.5));
+    e.add_jobs(&inst.jobs, |_| Box::new(Uniform::single()));
+    let report = e.run();
+    assert!(report.jam_stats.attempted > 0);
+    let back: contention_deadlines::sim::metrics::SimReport = roundtrip(&report);
+    assert_eq!(back.jam_stats, report.jam_stats);
+}
+
+#[test]
+fn sim_report_without_jam_stats_field_still_loads() {
+    // Artifacts archived before the adversary counters existed lack the
+    // `jam_stats` field; deserialization must default it, not fail.
+    use contention_deadlines::protocols::Uniform;
+    let inst = batch(2, 32);
+    let mut e = Engine::new(EngineConfig::default(), 13);
+    e.add_jobs(&inst.jobs, |_| Box::new(Uniform::single()));
+    let report = e.run();
+    let mut json: serde_json::Value = serde_json::to_value(&report).expect("serialize");
+    match &mut json {
+        serde_json::Value::Object(pairs) => pairs.retain(|(key, _)| key != "jam_stats"),
+        other => panic!("SimReport should serialize to an object, got {other:?}"),
+    }
+    let back: contention_deadlines::sim::metrics::SimReport =
+        serde_json::from_value(&json).expect("deserialize legacy report");
+    assert_eq!(back.jam_stats, JamStats::default());
+    assert_eq!(back.counts, report.counts);
+}
+
+#[test]
 fn experiment_report_roundtrips() {
     use dcr_stats::{CheckResult, ExperimentReport, MetricRow, Param, Provenance, Timing};
     let report = ExperimentReport {
