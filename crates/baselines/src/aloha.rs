@@ -118,6 +118,7 @@ mod tests {
             window: 400,
             local_time: 0,
             aligned_time: None,
+            probed: false,
         };
         assert!((proto.tx_probability(&ctx).unwrap() - 0.01).abs() < 1e-12);
     }

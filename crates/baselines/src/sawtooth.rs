@@ -11,6 +11,7 @@
 
 use dcr_sim::engine::{Action, JobCtx, Protocol};
 use dcr_sim::message::Payload;
+use dcr_sim::probe::{EventBuf, ProbeEvent};
 use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
 
@@ -31,6 +32,7 @@ pub struct Sawtooth {
     fire_at: u64,
     succeeded: bool,
     primed: bool,
+    probe: EventBuf,
 }
 
 impl Sawtooth {
@@ -43,6 +45,7 @@ impl Sawtooth {
             fire_at: 0,
             succeeded: false,
             primed: false,
+            probe: EventBuf::default(),
         }
     }
 
@@ -67,6 +70,12 @@ impl Sawtooth {
         let draw = rng.gen_range(1..=size);
         self.window_end = now + size;
         self.fire_at = now + size - draw;
+        // Window entry happens at the same local slot in dense and
+        // event-driven runs (`next_wake` targets `window_end` exactly), so
+        // the phase stream is scheduling-mode independent.
+        if self.probe.enabled() {
+            self.probe.phase(&format!("run{}-w{size}", self.run));
+        }
     }
 
     /// Current window size (for tests).
@@ -82,6 +91,12 @@ impl Default for Sawtooth {
 }
 
 impl Protocol for Sawtooth {
+    fn on_activate(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) {
+        if ctx.probed {
+            self.probe.arm();
+        }
+    }
+
     fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
         if self.succeeded {
             return Action::Sleep;
@@ -107,6 +122,10 @@ impl Protocol for Sawtooth {
 
     fn is_done(&self) -> bool {
         self.succeeded
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ProbeEvent>) {
+        self.probe.drain_into(out);
     }
 
     fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {

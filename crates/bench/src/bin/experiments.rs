@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] [--trials N]
-//!             [--out DIR] [--json DIR] [--list]
+//!             [--out DIR] [--json DIR] [--probe DIR] [--list]
 //! ```
 //!
 //! With no ids, runs the full suite in order; `--only` selects experiments
@@ -10,7 +10,9 @@
 //! re-running with `--seed` reproduces output bit-for-bit. `--out DIR`
 //! additionally writes each experiment's report to `DIR/<id>.txt`;
 //! `--json DIR` writes the structured artifact to `DIR/<id>.json` plus a
-//! suite-level `BENCH_summary.json` (see EXPERIMENTS.md for the schema).
+//! suite-level `BENCH_summary.json` (see EXPERIMENTS.md for the schema);
+//! `--probe DIR` asks probe-aware experiments (E19) to also write trace
+//! artifacts such as Perfetto JSON files there.
 
 use dcr_bench::{run_experiment_report, ExpConfig, ALL_EXPERIMENTS};
 use dcr_stats::report::SCHEMA_VERSION;
@@ -79,6 +81,12 @@ fn main() {
                     .unwrap_or_else(|| usage_error("--json needs a directory"));
                 json_dir = Some(v.into());
             }
+            "--probe" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--probe needs a directory"));
+                cfg.probe_dir = Some(v.into());
+            }
             "--quick" => {
                 cfg = ExpConfig {
                     quick: true,
@@ -119,7 +127,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] \
-                     [--trials N] [--out DIR] [--json DIR] [--list]\nids: {}",
+                     [--trials N] [--out DIR] [--json DIR] [--probe DIR] [--list]\nids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;

@@ -34,6 +34,14 @@ struct Row {
     dense_slots_per_sec: f64,
     event_slots_per_sec: f64,
     speedup: f64,
+    // Event-driven scheduler counters (SimReport::sched_stats): attribute
+    // the speedup — how many slots were fast-forwarded and how hard the
+    // wake queue worked to earn it.
+    gap_skips: u64,
+    gap_slots: u64,
+    skipped_fraction: f64,
+    parks: u64,
+    peak_parked: u64,
 }
 
 #[derive(Serialize)]
@@ -182,14 +190,21 @@ fn main() {
         } else {
             f64::NAN
         };
+        let sched = event_report.sched_stats;
+        let skipped_fraction = sched.skipped_fraction(event_report.slots_run);
         println!(
-            "{:48} jobs={:4} slots={:8}  dense {:>12.0}/s  event {:>12.0}/s  speedup {:5.2}x",
+            "{:48} jobs={:4} slots={:8}  dense {:>12.0}/s  event {:>12.0}/s  speedup {:5.2}x  \
+             (skipped {:.0}% in {} gaps, {} parks, peak {})",
             w.name,
             w.jobs.len(),
             event_report.slots_run,
             dense_rate,
             event_rate,
-            speedup
+            speedup,
+            skipped_fraction * 100.0,
+            sched.gap_skips,
+            sched.parks,
+            sched.peak_parked
         );
         rows.push(Row {
             workload: w.name.clone(),
@@ -198,6 +213,11 @@ fn main() {
             dense_slots_per_sec: dense_rate,
             event_slots_per_sec: event_rate,
             speedup,
+            gap_skips: sched.gap_skips,
+            gap_slots: sched.gap_slots,
+            skipped_fraction,
+            parks: sched.parks,
+            peak_parked: sched.peak_parked,
         });
     }
 

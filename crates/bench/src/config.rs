@@ -1,7 +1,7 @@
 //! Experiment configuration shared by every module.
 
 /// Knobs common to all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Master seed: every experiment derives all randomness from this, so
     /// a printed seed replays the full suite bit-for-bit.
@@ -11,6 +11,10 @@ pub struct ExpConfig {
     /// Quick mode: shrink sweeps and trial counts ~10× (used by tests and
     /// smoke runs; the shapes still show, the confidence intervals widen).
     pub quick: bool,
+    /// Directory for probe artifacts (Perfetto traces etc.); set by the
+    /// experiments binary's `--probe DIR` flag. Experiments that can emit
+    /// a trace write one here; `None` skips the extra probed run.
+    pub probe_dir: Option<std::path::PathBuf>,
 }
 
 impl ExpConfig {
@@ -20,6 +24,7 @@ impl ExpConfig {
             seed: 0x5eed_2020,
             trials: 400,
             quick: false,
+            probe_dir: None,
         }
     }
 

@@ -11,6 +11,7 @@ pub mod e15_punctual_jamming;
 pub mod e16_adversarial;
 pub mod e17_latency;
 pub mod e18_breakdown;
+pub mod e19_estimation_fidelity;
 pub mod e1_contention;
 pub mod e2_uniform;
 pub mod e3_starvation;

@@ -13,6 +13,7 @@ use crate::aligned::CTRL_ESTIMATE;
 use dcr_sim::engine::{Action, JobCtx, Protocol};
 use dcr_sim::job::JobId;
 use dcr_sim::message::{ControlMsg, Payload};
+use dcr_sim::probe::{EventBuf, ProbeEvent};
 use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
 
@@ -55,6 +56,13 @@ pub struct AlignedJob {
     /// Probability with which the job intended to transmit this slot
     /// (diagnostic, feeds the engine's contention trace).
     last_prob: f64,
+    /// Probe event buffer (disarmed unless the engine asks for events).
+    probe: EventBuf,
+    /// The estimate has been published as a `SizeEstimate` event.
+    reported_estimate: bool,
+    /// The class currently noted as having preempted ours (debounces
+    /// `Preemption` events to one per takeover).
+    preempted_by: Option<u32>,
 }
 
 impl AlignedJob {
@@ -79,6 +87,47 @@ impl AlignedJob {
             succeeded: false,
             gave_up: false,
             last_prob: 0.0,
+            probe: EventBuf::default(),
+            reported_estimate: false,
+            preempted_by: None,
+        }
+    }
+
+    /// Arm the probe buffer: the job will emit `PhaseEnter`, `SizeEstimate`
+    /// and `Preemption` events from the slots it attends. Call at
+    /// activation, before the first `decide`.
+    pub fn arm_probe(&mut self) {
+        self.probe.arm();
+        self.probe.phase("estimation");
+    }
+
+    /// Move buffered probe events into `out` (engine drain path; also used
+    /// by PUNCTUAL to forward its embedded follower's events).
+    pub fn drain_probe(&mut self, out: &mut Vec<ProbeEvent>) {
+        self.probe.drain_into(out);
+    }
+
+    /// Hand the internal buffer to an absorbing parent buffer.
+    pub(crate) fn probe_mut(&mut self) -> &mut EventBuf {
+        &mut self.probe
+    }
+
+    /// Publish the size estimate the first time it becomes available.
+    /// The estimate flips in an *attended* estimation slot (estimation
+    /// steps are never dozed or skipped), so the emission slot is
+    /// identical across scheduling modes.
+    fn maybe_report_estimate(&mut self) {
+        if !self.probe.enabled() || self.reported_estimate {
+            return;
+        }
+        if let Some(n_est) = self.tracker.estimate_of(self.class) {
+            self.reported_estimate = true;
+            self.probe.push(ProbeEvent::SizeEstimate {
+                class: self.class,
+                n_est,
+                n_true: 0, // ground truth enriched by the engine
+            });
+            self.probe.phase("broadcast");
         }
     }
 
@@ -152,15 +201,19 @@ impl AlignedJob {
             // Estimation feedback (anyone's) feeds the replicated
             // estimator: the slot must be heard.
             if class == self.class && window_start == self.window_start && !self.finished() {
+                self.preempted_by = None;
                 let p = Estimation::tx_probability(phase);
                 self.last_prob = p;
                 if rng.gen_bool(p) {
                     return AlignedAction::Control;
                 }
+            } else if self.probe.enabled() {
+                self.note_preemption(class);
             }
             return AlignedAction::Idle;
         }
         if class == self.class && window_start == self.window_start && !self.finished() {
+            self.preempted_by = None;
             let StepKind::Broadcast(pos) = kind else {
                 unreachable!("estimation handled above")
             };
@@ -179,6 +232,24 @@ impl AlignedJob {
         // its feedback never enters the replicated state, so consume it
         // now and keep the radio off.
         self.doze(vt)
+    }
+
+    /// Emit one `Preemption` event when a *different* class's estimation
+    /// run interrupts our in-progress broadcast (the pecking order: smaller
+    /// classes take over at their window boundaries). Only called from
+    /// attended (non-`Doze`) paths, so the emission slot is identical
+    /// across scheduling modes.
+    fn note_preemption(&mut self, by_class: u32) {
+        let ours_underway = self.tracker.steps_of(self.class) > 0
+            && !self.tracker.is_complete(self.class)
+            && !self.finished();
+        if ours_underway && by_class != self.class && self.preempted_by != Some(by_class) {
+            self.preempted_by = Some(by_class);
+            self.probe.push(ProbeEvent::Preemption {
+                class: self.class,
+                by_class,
+            });
+        }
     }
 
     /// Advance the tracker past a slot whose feedback is irrelevant
@@ -207,6 +278,7 @@ impl AlignedJob {
         if !self.succeeded && self.tracker.is_complete(self.class) {
             self.gave_up = true;
         }
+        self.maybe_report_estimate();
     }
 
     /// The next virtual slot (strictly after `now`, the last decided slot)
@@ -277,7 +349,17 @@ impl Protocol for AlignedProtocol {
             "AlignedProtocol requires power-of-2-aligned windows"
         );
         let class = ctx.window.trailing_zeros();
-        self.job = Some(AlignedJob::new(self.params, ctx.id, class, now));
+        let mut job = AlignedJob::new(self.params, ctx.id, class, now);
+        if ctx.probed {
+            job.arm_probe();
+        }
+        self.job = Some(job);
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ProbeEvent>) {
+        if let Some(job) = self.job.as_mut() {
+            job.drain_probe(out);
+        }
     }
 
     fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {

@@ -13,6 +13,7 @@ use crate::punctual::params::{slot_role, PunctualParams, SlotRole, ROUND_LEN};
 use crate::punctual::trim::trim_class;
 use dcr_sim::engine::{Action, JobCtx, Protocol};
 use dcr_sim::message::Payload;
+use dcr_sim::probe::{EventBuf, ProbeEvent};
 use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
 
@@ -115,6 +116,21 @@ fn follow_state(params: &PunctualParams, rho_now: u64, rem_v: u64) -> State {
     }
 }
 
+/// Short stable label for a state, used for probe phase spans. One label
+/// per top-level state: leader sub-phases and slingshot flags are details
+/// a trace reader does not need as separate tracks.
+fn state_tag(state: &State) -> &'static str {
+    match state {
+        State::SyncListen { .. } => "sync-listen",
+        State::SyncAnnounce { .. } => "sync-announce",
+        State::Slingshot { .. } => "slingshot",
+        State::Follow { .. } => "follow",
+        State::Leader { .. } => "leader",
+        State::Anarchist => "anarchist",
+        State::Done => "done",
+    }
+}
+
 /// The PUNCTUAL protocol for one job. Implements
 /// [`dcr_sim::engine::Protocol`]; requires **no** aligned clock from the
 /// engine.
@@ -127,6 +143,8 @@ pub struct PunctualProtocol {
     clock: Option<Clock>,
     succeeded: bool,
     last_prob: f64,
+    /// Probe event buffer; disarmed (and free) unless the engine asks.
+    probe: EventBuf,
 }
 
 impl PunctualProtocol {
@@ -143,6 +161,7 @@ impl PunctualProtocol {
             clock: None,
             succeeded: false,
             last_prob: 0.0,
+            probe: EventBuf::default(),
         }
     }
 
@@ -285,10 +304,28 @@ impl PunctualProtocol {
             self.state = st;
         }
     }
-}
 
-impl Protocol for PunctualProtocol {
-    fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+    /// Record a state transition for the probe layer: a phase span per
+    /// state, plus the two headline instants E19 cares about. Called after
+    /// each acted slot (the only places state can change), so emission
+    /// slots are identical across scheduling modes.
+    fn note_transition(&mut self, before: &'static str) {
+        let now = state_tag(&self.state);
+        if now == before {
+            return;
+        }
+        self.probe.phase(now);
+        if now == "anarchist" {
+            self.probe.push(ProbeEvent::AnarchistConversion {
+                from: before.to_string(),
+            });
+        }
+        if before == "slingshot" && now == "leader" {
+            self.probe.push(ProbeEvent::LeaderElected);
+        }
+    }
+
+    fn act_slot(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
         self.last_prob = 0.0;
         let l = ctx.local_time;
 
@@ -364,6 +401,7 @@ impl Protocol for PunctualProtocol {
             SlotRole::Aligned => {
                 let clock = self.clock;
                 let params = self.params;
+                let probe_on = self.probe.enabled();
                 if let State::Follow {
                     trim_start,
                     class,
@@ -375,7 +413,11 @@ impl Protocol for PunctualProtocol {
                         return Action::Listen;
                     }
                     let j = job.get_or_insert_with(|| {
-                        AlignedJob::new(params.aligned, ctx.id, *class, *trim_start)
+                        let mut j = AlignedJob::new(params.aligned, ctx.id, *class, *trim_start);
+                        if probe_on {
+                            j.arm_probe();
+                        }
+                        j
                     });
                     let action = j.decide(rho, rng);
                     self.last_prob = j.last_prob();
@@ -437,7 +479,7 @@ impl Protocol for PunctualProtocol {
         }
     }
 
-    fn on_feedback(&mut self, ctx: &JobCtx, fb: &Feedback, rng: &mut dyn RngCore) {
+    fn observe_slot(&mut self, ctx: &JobCtx, fb: &Feedback, rng: &mut dyn RngCore) {
         let l = ctx.local_time;
 
         // Global: my data message got through (leader handoff/abdication,
@@ -445,6 +487,10 @@ impl Protocol for PunctualProtocol {
         if let Feedback::Success { src, payload } = fb {
             if *src == ctx.id && payload.is_data() {
                 self.succeeded = true;
+                // The embedded follower's pending events must outlive it.
+                if let State::Follow { job: Some(j), .. } = &mut self.state {
+                    self.probe.absorb(j.probe_mut());
+                }
                 self.state = State::Done;
                 return;
             }
@@ -580,10 +626,12 @@ impl Protocol for PunctualProtocol {
                             j.observe(rho, fb);
                             if j.succeeded() {
                                 self.succeeded = true;
+                                self.probe.absorb(j.probe_mut());
                                 self.state = State::Done;
                             } else if j.gave_up() {
                                 // Truncated: release into anarchy rather
                                 // than going silent (resolution #5).
+                                self.probe.absorb(j.probe_mut());
                                 self.state = State::Anarchist;
                             }
                         }
@@ -591,6 +639,47 @@ impl Protocol for PunctualProtocol {
                 }
             }
             SlotRole::Start | SlotRole::Guard | SlotRole::Anarchy => {}
+        }
+    }
+}
+
+impl Protocol for PunctualProtocol {
+    fn on_activate(&mut self, ctx: &JobCtx, _rng: &mut dyn RngCore) {
+        if ctx.probed {
+            self.probe.arm();
+            self.probe.phase(state_tag(&self.state));
+        }
+    }
+
+    fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+        let before = if self.probe.enabled() {
+            Some(state_tag(&self.state))
+        } else {
+            None
+        };
+        let action = self.act_slot(ctx, rng);
+        if let Some(before) = before {
+            self.note_transition(before);
+        }
+        action
+    }
+
+    fn on_feedback(&mut self, ctx: &JobCtx, fb: &Feedback, rng: &mut dyn RngCore) {
+        let before = if self.probe.enabled() {
+            Some(state_tag(&self.state))
+        } else {
+            None
+        };
+        self.observe_slot(ctx, fb, rng);
+        if let Some(before) = before {
+            self.note_transition(before);
+        }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ProbeEvent>) {
+        self.probe.drain_into(out);
+        if let State::Follow { job: Some(j), .. } = &mut self.state {
+            j.drain_probe(out);
         }
     }
 

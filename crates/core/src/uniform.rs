@@ -14,6 +14,7 @@
 
 use dcr_sim::engine::{Action, JobCtx, Protocol};
 use dcr_sim::message::Payload;
+use dcr_sim::probe::{EventBuf, ProbeEvent};
 use rand::{Rng, RngCore};
 
 /// The UNIFORM protocol with `k` broadcast attempts.
@@ -23,6 +24,7 @@ pub struct Uniform {
     /// Chosen local slots, sorted; populated at activation.
     chosen: Vec<u64>,
     succeeded: bool,
+    probe: EventBuf,
 }
 
 impl Uniform {
@@ -34,6 +36,7 @@ impl Uniform {
             attempts,
             chosen: Vec::new(),
             succeeded: false,
+            probe: EventBuf::default(),
         }
     }
 
@@ -50,6 +53,10 @@ impl Uniform {
 
 impl Protocol for Uniform {
     fn on_activate(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) {
+        if ctx.probed {
+            self.probe.arm();
+            self.probe.phase("uniform");
+        }
         // Sample `min(k, w)` distinct local slots by rejection — k is a
         // small constant, so this is O(k²) expected.
         let k = (self.attempts as u64).min(ctx.window) as usize;
@@ -83,6 +90,10 @@ impl Protocol for Uniform {
 
     fn is_done(&self) -> bool {
         self.succeeded
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ProbeEvent>) {
+        self.probe.drain_into(out);
     }
 
     fn tx_probability(&self, ctx: &JobCtx) -> Option<f64> {

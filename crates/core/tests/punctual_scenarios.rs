@@ -42,6 +42,7 @@ impl Driver {
             window: self.window,
             local_time: self.local,
             aligned_time: None,
+            probed: false,
         }
     }
 

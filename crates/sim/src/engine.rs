@@ -21,7 +21,8 @@
 use crate::jamming::{Jammer, SlotView};
 use crate::job::{JobId, JobSpec};
 use crate::message::Payload;
-use crate::metrics::{AccessCounts, JamStats, JobOutcome, SimReport, SlotCounts};
+use crate::metrics::{AccessCounts, JamStats, JobOutcome, SchedStats, SimReport, SlotCounts};
+use crate::probe::{ProbeBus, ProbeEvent, ProbeRecord, ProbeReport, ProbeSpec, VecSink};
 use crate::rng::{SeedSeq, StreamLabel};
 use crate::sched::WakeQueue;
 use crate::slot::Feedback;
@@ -58,6 +59,10 @@ pub struct JobCtx {
     /// The shared global clock, present only when the engine is configured
     /// for the power-of-2-aligned special case.
     pub aligned_time: Option<u64>,
+    /// True when some probe sink consumes protocol events: the protocol
+    /// should arm its [`crate::probe::EventBuf`] at activation. Purely an
+    /// observability flag — it must never influence protocol decisions.
+    pub probed: bool,
 }
 
 impl JobCtx {
@@ -123,6 +128,16 @@ pub trait Protocol {
     fn next_wake(&self, _ctx: &JobCtx) -> Option<u64> {
         None
     }
+
+    /// Move any buffered [`ProbeEvent`]s into `out`. Called once per slot
+    /// (after feedback delivery) for every polled job while a sink wants
+    /// events; the engine stamps each event with the slot and job id.
+    ///
+    /// Protocols may emit only from slots they attend (`act`/`on_feedback`),
+    /// so per-job event streams are identical across scheduling modes (see
+    /// [`crate::probe`] for the full contract). The default is a no-op for
+    /// protocols with nothing to report.
+    fn drain_events(&mut self, _out: &mut Vec<ProbeEvent>) {}
 }
 
 /// How the engine visits live jobs each slot.
@@ -153,6 +168,10 @@ pub struct EngineConfig {
     pub expose_aligned_clock: bool,
     /// How live jobs are visited each slot (see [`Scheduling`]).
     pub scheduling: Scheduling,
+    /// Probe sinks to attach (see [`crate::probe`]). `None` disables the
+    /// probe layer entirely; with `record_trace` also off, the slot loop
+    /// does no observability work beyond two branch checks.
+    pub probe: Option<ProbeSpec>,
 }
 
 impl EngineConfig {
@@ -173,6 +192,12 @@ impl EngineConfig {
     /// Force dense polling (ignore wake hints).
     pub fn dense(mut self) -> Self {
         self.scheduling = Scheduling::Dense;
+        self
+    }
+
+    /// Attach probe sinks (see [`crate::probe`]).
+    pub fn with_probe(mut self, spec: ProbeSpec) -> Self {
+        self.probe = Some(spec);
         self
     }
 }
@@ -281,7 +306,22 @@ impl Engine {
         let jammer_strikes_idle = self.jammer.strikes_idle();
         let mut scratch = SlotScratch::default();
         let mut counts = SlotCounts::default();
-        let mut trace = self.config.record_trace.then(Vec::new);
+        // All observability flows through the probe bus. The legacy
+        // `record_trace` flag is a `VecSink` attached first, so its output
+        // is bit-identical to the old unconditional trace Vec.
+        let mut bus = ProbeBus::new();
+        if self.config.record_trace {
+            bus.push(Box::new(VecSink::new()));
+        }
+        if let Some(spec) = &self.config.probe {
+            for sink in &spec.sinks {
+                bus.push(sink.build());
+            }
+        }
+        let wants_slots = bus.wants_slots();
+        let probed = bus.wants_events();
+        let mut event_scratch: Vec<ProbeEvent> = Vec::new();
+        let mut sched_stats = SchedStats::default();
         let mut jam_rng = self.seeds.rng(StreamLabel::Jammer, 0);
 
         let mut slot: u64 = 0;
@@ -308,11 +348,13 @@ impl Engine {
                     let until = next_event.min(max_slots);
                     let gap = until - slot;
                     counts.silent += gap;
+                    sched_stats.gap_skips += 1;
+                    sched_stats.gap_slots += gap;
                     // Stateful adversaries observe the skipped silence in
                     // bulk (contract: identical to per-slot rejections).
                     self.jammer.on_silent_gap(gap);
-                    if let Some(trace) = trace.as_mut() {
-                        trace.push(SlotRecord {
+                    if wants_slots {
+                        bus.on_slot(&SlotRecord {
                             slot,
                             outcome: if gap == 1 {
                                 SlotOutcome::Silent
@@ -322,6 +364,20 @@ impl Engine {
                             live_jobs: parked.len() as u32,
                             declared_contention: 0.0,
                             payload: None,
+                        });
+                    }
+                    if probed {
+                        bus.on_event(&ProbeRecord {
+                            slot,
+                            job: None,
+                            event: ProbeEvent::GapSkip { len: gap },
+                        });
+                        bus.on_event(&ProbeRecord {
+                            slot,
+                            job: None,
+                            event: ProbeEvent::WakeQueueStats {
+                                parked: parked.len() as u32,
+                            },
                         });
                     }
                     slot = until;
@@ -340,7 +396,7 @@ impl Engine {
             {
                 let idx = by_release[next_pending];
                 next_pending += 1;
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
                 let job = &mut self.jobs[idx];
                 job.protocol.on_activate(&ctx, &mut job.rng);
                 polled.push(idx);
@@ -351,10 +407,10 @@ impl Engine {
             // when no trace records it.
             scratch.transmitters.clear();
             scratch.listeners.clear();
-            let recording = trace.is_some();
+            let recording = wants_slots;
             let mut declared_contention = 0.0f64;
             for &idx in &polled {
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
                 let job = &mut self.jobs[idx];
                 let action = job.protocol.act(&ctx, &mut job.rng);
                 let declared = if recording {
@@ -429,7 +485,7 @@ impl Engine {
                 (false, _) => counts.collision += 1,
             }
 
-            if let Some(trace) = trace.as_mut() {
+            if wants_slots {
                 let outcome = if jammed {
                     SlotOutcome::Jammed { n_tx: n_tx as u32 }
                 } else {
@@ -444,7 +500,7 @@ impl Engine {
                         }
                     }
                 };
-                trace.push(SlotRecord {
+                bus.on_slot(&SlotRecord {
                     slot,
                     outcome,
                     live_jobs: (polled.len() + parked.len()) as u32,
@@ -455,9 +511,32 @@ impl Engine {
 
             // 5. Deliver feedback to listeners.
             for &idx in &scratch.listeners {
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot);
+                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
                 let job = &mut self.jobs[idx];
                 job.protocol.on_feedback(&ctx, &feedback, &mut job.rng);
+            }
+
+            // 5b. Drain protocol-emitted probe events, stamping slot/job and
+            // enriching `SizeEstimate` with ground truth (the engine is the
+            // only component entitled to a global view).
+            if probed {
+                for &idx in &polled {
+                    self.jobs[idx].protocol.drain_events(&mut event_scratch);
+                    if event_scratch.is_empty() {
+                        continue;
+                    }
+                    let id = self.jobs[idx].spec.id;
+                    for mut event in event_scratch.drain(..) {
+                        if let ProbeEvent::SizeEstimate { class, n_true, .. } = &mut event {
+                            *n_true = Self::live_class_size(&self.jobs, *class, slot);
+                        }
+                        bus.on_event(&ProbeRecord {
+                            slot,
+                            job: Some(id),
+                            event,
+                        });
+                    }
+                }
             }
 
             // 6. Record delivery and retire finished jobs.
@@ -482,7 +561,7 @@ impl Engine {
                     return false;
                 }
                 if event_driven {
-                    let ctx = Self::ctx_of(&self.config, &job.spec, slot);
+                    let ctx = Self::ctx_of(&self.config, &job.spec, slot, probed);
                     if let Some(wake_local) = job.protocol.next_wake(&ctx) {
                         // Clamp into the window so the job is awake for its
                         // last slot and retires through the normal deadline
@@ -509,6 +588,49 @@ impl Engine {
             job.outcome.get_or_insert(JobOutcome::Missed);
         }
 
+        // Retirement events, in job-id order. Outcomes and access counters
+        // are pure functions of the instance and seed (the equivalence
+        // suite's invariant), so this stream is identical across scheduling
+        // modes despite being assembled after the loop.
+        if probed {
+            for job in &self.jobs {
+                let outcome = job.outcome.expect("outcome just defaulted");
+                let end = match outcome {
+                    JobOutcome::Success { slot } => slot,
+                    JobOutcome::Missed => job.spec.deadline.min(slot).max(job.spec.release),
+                };
+                bus.on_event(&ProbeRecord {
+                    slot: end,
+                    job: Some(job.spec.id),
+                    event: ProbeEvent::JobRetired {
+                        success: outcome.is_success(),
+                        latency: end - job.spec.release,
+                        window: job.spec.window(),
+                        transmissions: job.accesses.transmissions,
+                        listens: job.accesses.listens,
+                    },
+                });
+            }
+        }
+
+        sched_stats.parks = parked.pushes();
+        sched_stats.peak_parked = parked.peak() as u64;
+
+        let mut outputs = bus.finish();
+        let trace = if self.config.record_trace {
+            match outputs.remove(0) {
+                crate::probe::ProbeOutput::Trace(t) => Some(t),
+                other => unreachable!("VecSink is attached first, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        let probes = if self.config.probe.is_some() {
+            Some(ProbeReport { outputs })
+        } else {
+            None
+        };
+
         let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec).collect();
         let outcomes: Vec<JobOutcome> = self.jobs.iter().map(|j| j.outcome.unwrap()).collect();
         let accesses: Vec<AccessCounts> = self.jobs.iter().map(|j| j.accesses).collect();
@@ -524,18 +646,30 @@ impl Engine {
             },
             self.seeds.master(),
             started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            sched_stats,
             trace,
+            probes,
         )
     }
 
     #[inline]
-    fn ctx_of(config: &EngineConfig, spec: &JobSpec, slot: u64) -> JobCtx {
+    fn ctx_of(config: &EngineConfig, spec: &JobSpec, slot: u64, probed: bool) -> JobCtx {
         JobCtx {
             id: spec.id,
             window: spec.window(),
             local_time: slot - spec.release,
             aligned_time: config.expose_aligned_clock.then_some(slot),
+            probed,
         }
+    }
+
+    /// Ground truth for [`ProbeEvent::SizeEstimate`]: the number of class-ℓ
+    /// jobs (window exactly `2^class`) whose window contains `slot`.
+    fn live_class_size(jobs: &[JobState], class: u32, slot: u64) -> u64 {
+        let w = 1u64 << class;
+        jobs.iter()
+            .filter(|j| j.spec.window() == w && j.spec.release <= slot && slot < j.spec.deadline)
+            .count() as u64
     }
 }
 
@@ -729,6 +863,8 @@ mod tests {
         assert_eq!(t.collision, r.counts.collision);
         assert_eq!(t.silent, r.counts.silent);
         assert_eq!(t.jammed, r.counts.jammed);
+        assert_eq!(t.data_success, r.counts.data_success);
+        assert!(t.data_success > 0, "the lone slot-4 transmitter delivers");
     }
 
     #[test]
@@ -773,6 +909,77 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default(), 1);
         e.add_job(JobSpec::new(0, 3, 7), Box::new(AssertHidden));
         let _ = e.run();
+    }
+
+    #[test]
+    fn probe_report_present_only_when_configured() {
+        use crate::probe::{ProbeSpec, SinkSpec};
+        let run = |probe: Option<ProbeSpec>| {
+            let config = EngineConfig {
+                probe,
+                ..EngineConfig::default()
+            };
+            let mut e = Engine::new(config, 5);
+            e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(1)));
+            e.run()
+        };
+        assert!(run(None).probes.is_none());
+        let r = run(Some(ProbeSpec::new().with(SinkSpec::Events)));
+        let probes = r.probes.expect("probe spec configured");
+        let events = probes.events().expect("events sink configured");
+        // No protocol emissions from AtLocal, but the engine retires the job.
+        assert!(events
+            .iter()
+            .any(|rec| matches!(rec.event, ProbeEvent::JobRetired { success: true, .. })));
+    }
+
+    #[test]
+    fn gap_skip_events_reach_sinks_and_sched_stats() {
+        use crate::probe::{ProbeSpec, SinkSpec};
+        let mut e = Engine::new(
+            EngineConfig::default().with_probe(ProbeSpec::new().with(SinkSpec::Events)),
+            1,
+        );
+        e.add_job(JobSpec::new(0, 0, 2), Box::new(AtLocal(0)));
+        e.add_job(JobSpec::new(1, 10_000, 10_002), Box::new(AtLocal(0)));
+        let r = e.run();
+        assert!(r.sched_stats.gap_skips >= 1);
+        assert!(r.sched_stats.gap_slots >= 9_000);
+        let probes = r.probes.unwrap();
+        let events = probes.events().unwrap();
+        assert!(events
+            .iter()
+            .any(|rec| matches!(rec.event, ProbeEvent::GapSkip { len } if len >= 9_000)));
+    }
+
+    #[test]
+    fn legacy_trace_identical_with_extra_sinks_attached() {
+        // The record_trace path must be bit-identical whether or not other
+        // probe sinks ride along on the bus.
+        use crate::probe::{ProbeSpec, SinkSpec};
+        let run = |probe: Option<ProbeSpec>| {
+            let config = EngineConfig {
+                probe,
+                ..EngineConfig::default().with_trace()
+            };
+            let mut e = Engine::new(config, 77);
+            e.add_job(JobSpec::new(0, 0, 8), Box::new(AtLocal(1)));
+            e.add_job(JobSpec::new(1, 0, 8), Box::new(AtLocal(1)));
+            e.add_job(JobSpec::new(2, 4, 12), Box::new(AtLocal(3)));
+            e.run()
+        };
+        let plain = run(None);
+        let probed = run(Some(
+            ProbeSpec::new()
+                .with(SinkSpec::Ring { capacity: 2 })
+                .with(SinkSpec::Events),
+        ));
+        assert_eq!(plain.trace, probed.trace);
+        assert_eq!(plain.counts, probed.counts);
+        // And the ring holds the trace's tail.
+        let (ring, _) = probed.probes.as_ref().unwrap().ring().unwrap();
+        let trace = plain.trace.as_ref().unwrap();
+        assert_eq!(ring, &trace[trace.len() - 2..]);
     }
 
     #[test]

@@ -47,7 +47,8 @@ fn channel_char(rec: &SlotRecord) -> char {
         SlotOutcome::Collision { .. } => 'x',
         SlotOutcome::Jammed { .. } => '!',
         // Only the gap's first slot carries a record; the rest of the run
-        // keeps the channel row's silent default.
+        // keeps the channel row's silent default. A `··×N` label is
+        // overlaid afterwards when the visible span has room for it.
         SlotOutcome::SilentGap { .. } => '·',
     }
 }
@@ -80,6 +81,26 @@ pub fn render_gantt(report: &SimReport, opts: GanttOptions) -> Result<String, St
         channel[i] = channel_char(rec);
         if let SlotOutcome::Success { src, .. } = rec.outcome {
             success_src[i] = Some(src);
+        }
+    }
+    // Collapse fast-forwarded gaps into a visible `··×N` run-length label.
+    // The gap still occupies exactly its covered columns (clamped to the
+    // render range), so column alignment with the job rows is preserved;
+    // gaps whose visible span is too narrow for the label stay plain `·`s.
+    for rec in trace {
+        let SlotOutcome::SilentGap { len } = rec.outcome else {
+            continue;
+        };
+        let start = rec.slot.max(from);
+        let end = (rec.slot + len).min(to);
+        if end <= start {
+            continue;
+        }
+        let label: Vec<char> = format!("··×{len}").chars().collect();
+        let span = (end - start) as usize;
+        if span >= label.len() {
+            let base = (start - from) as usize;
+            channel[base..base + label.len()].copy_from_slice(&label);
         }
     }
 
@@ -208,6 +229,114 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn silent_gaps_render_as_collapsed_runs() {
+        // Two event-driven jobs far apart: the engine fast-forwards the gap
+        // into a single SilentGap record.
+        struct WakeAt(u64);
+        impl Protocol for WakeAt {
+            fn act(&mut self, ctx: &JobCtx, _rng: &mut dyn rand::RngCore) -> Action {
+                if ctx.local_time == self.0 {
+                    Action::Transmit(Payload::Data(ctx.id))
+                } else {
+                    Action::Sleep
+                }
+            }
+            fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {
+                Some(if ctx.local_time < self.0 {
+                    self.0
+                } else {
+                    u64::MAX
+                })
+            }
+        }
+        let mut e = Engine::new(EngineConfig::default().with_trace(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(WakeAt(0)));
+        e.add_job(JobSpec::new(1, 100, 104), Box::new(WakeAt(0)));
+        let r = e.run();
+        let gap_len = r
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .find_map(|rec| match rec.outcome {
+                SlotOutcome::SilentGap { len } => Some(len),
+                _ => None,
+            })
+            .expect("fast-forwarded stretch must be traced as a gap");
+        let g = render_gantt(
+            &r,
+            GanttOptions {
+                from: 0,
+                to: 101,
+                max_jobs: 4,
+            },
+        )
+        .unwrap();
+        let channel = g.lines().next().unwrap();
+        assert!(
+            channel.contains(&format!("··×{gap_len}")),
+            "gap must render as a collapsed run: {channel}"
+        );
+        // The label overlays the gap's columns; width is unchanged.
+        assert_eq!(channel.chars().count(), "channel ".len() + 1 + 101);
+    }
+
+    #[test]
+    fn narrow_gaps_stay_plain_silence() {
+        // A 2-slot visible span cannot hold "··×N"; it must not overflow
+        // into neighbouring columns.
+        let rec = |slot, outcome| SlotRecord {
+            slot,
+            outcome,
+            live_jobs: 0,
+            declared_contention: 0.0,
+            payload: None,
+        };
+        let trace = vec![
+            rec(
+                0,
+                SlotOutcome::Success {
+                    src: 0,
+                    was_data: true,
+                },
+            ),
+            rec(1, SlotOutcome::SilentGap { len: 2 }),
+            rec(
+                3,
+                SlotOutcome::Success {
+                    src: 0,
+                    was_data: false,
+                },
+            ),
+        ];
+        use crate::metrics::{JamStats, JobOutcome, SchedStats, SlotCounts};
+        let report = SimReport::new(
+            vec![JobSpec::new(0, 0, 4)],
+            vec![JobOutcome::Success { slot: 0 }],
+            SlotCounts::default(),
+            vec![Default::default()],
+            4,
+            JamStats::default(),
+            1,
+            0,
+            SchedStats::default(),
+            Some(trace),
+            None,
+        );
+        let g = render_gantt(
+            &report,
+            GanttOptions {
+                from: 0,
+                to: 4,
+                max_jobs: 1,
+            },
+        )
+        .unwrap();
+        let channel = g.lines().next().unwrap();
+        assert_eq!(channel, "channel |S··S");
     }
 
     #[test]

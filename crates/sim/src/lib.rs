@@ -73,6 +73,7 @@ pub mod jamming;
 pub mod job;
 pub mod message;
 pub mod metrics;
+pub mod probe;
 pub mod rng;
 pub mod runner;
 pub mod sched;
@@ -88,7 +89,10 @@ pub mod prelude {
     };
     pub use crate::job::{JobId, JobSpec};
     pub use crate::message::{ControlMsg, Payload};
-    pub use crate::metrics::{JamStats, JobOutcome, SimReport, SlotCounts};
+    pub use crate::metrics::{JamStats, JobOutcome, SchedStats, SimReport, SlotCounts};
+    pub use crate::probe::{
+        EventBuf, ProbeEvent, ProbeOutput, ProbeRecord, ProbeReport, ProbeSink, ProbeSpec, SinkSpec,
+    };
     pub use crate::rng::SeedSeq;
     pub use crate::runner::{run_trials, TrialOutcome};
     pub use crate::slot::Feedback;

@@ -1,6 +1,7 @@
 //! Simulation outcomes and aggregate metrics.
 
 use crate::job::{JobId, JobSpec};
+use crate::probe::ProbeReport;
 use crate::trace::SlotRecord;
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +113,53 @@ impl JamStats {
     }
 }
 
+/// Scheduler-side counters for one run: how much work the event-driven
+/// engine avoided. Sits next to [`SimReport::engine_nanos`] so throughput
+/// numbers (the `slotloop` bench) can be attributed to skipped slots.
+/// Scheduling-dependent by nature — like `engine_nanos`, excluded from
+/// cross-mode equivalence comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedStats {
+    /// All-parked/idle stretches fast-forwarded in O(1).
+    pub gap_skips: u64,
+    /// Total slots covered by those stretches (subset of
+    /// [`SlotCounts::silent`]).
+    pub gap_slots: u64,
+    /// Jobs parked on a wake hint (total [`crate::sched::WakeQueue`]
+    /// insertions over the run).
+    pub parks: u64,
+    /// Peak number of simultaneously parked jobs.
+    pub peak_parked: u64,
+}
+
+// Manual impl so a missing `sched_stats` field (surfaced as `Null` by the
+// field lookup) falls back to all-zero counters: artifacts archived before
+// the scheduler counters existed must still deserialize.
+impl<'de> serde::Deserialize<'de> for SchedStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            gap_skips: u64::from_value(serde::field(v, "gap_skips")?)?,
+            gap_slots: u64::from_value(serde::field(v, "gap_slots")?)?,
+            parks: u64::from_value(serde::field(v, "parks")?)?,
+            peak_parked: u64::from_value(serde::field(v, "peak_parked")?)?,
+        })
+    }
+}
+
+impl SchedStats {
+    /// Fraction of the run's slots covered by O(1) gap skips (0.0 for an
+    /// empty run) — the share of the timeline the slot loop never walked.
+    pub fn skipped_fraction(&self, slots_run: u64) -> f64 {
+        if slots_run == 0 {
+            return 0.0;
+        }
+        self.gap_slots as f64 / slots_run as f64
+    }
+}
+
 /// The result of running one simulation to completion.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -136,8 +184,16 @@ pub struct SimReport {
     /// comparisons (everything else in the report is a pure function of
     /// the instance and seed).
     pub engine_nanos: u64,
+    /// Scheduler work-avoidance counters (gap skips, parked jobs).
+    /// Scheduling-dependent like `engine_nanos`; defaults on
+    /// deserialization so pre-existing artifacts still load.
+    #[serde(default)]
+    pub sched_stats: SchedStats,
     /// Full per-slot trace if `EngineConfig::record_trace` was set.
     pub trace: Option<Vec<SlotRecord>>,
+    /// Probe sink outputs if `EngineConfig::probe` was set (see
+    /// [`crate::probe`]).
+    pub probes: Option<ProbeReport>,
 }
 
 impl SimReport {
@@ -151,7 +207,9 @@ impl SimReport {
         jam_stats: JamStats,
         seed: u64,
         engine_nanos: u64,
+        sched_stats: SchedStats,
         trace: Option<Vec<SlotRecord>>,
+        probes: Option<ProbeReport>,
     ) -> Self {
         Self {
             jobs,
@@ -162,7 +220,9 @@ impl SimReport {
             jam_stats,
             seed,
             engine_nanos,
+            sched_stats,
             trace,
+            probes,
         }
     }
 
@@ -302,6 +362,13 @@ mod tests {
             },
             42,
             4_000,
+            SchedStats {
+                gap_skips: 1,
+                gap_slots: 4,
+                parks: 2,
+                peak_parked: 2,
+            },
+            None,
             None,
         )
     }
@@ -343,6 +410,8 @@ mod tests {
             JamStats::default(),
             0,
             0,
+            SchedStats::default(),
+            None,
             None,
         )
     }
@@ -369,6 +438,14 @@ mod tests {
         assert_eq!(r.jam_stats.efficacy(), Some(0.5));
         // A clean channel has no attempts and therefore no efficacy.
         assert_eq!(empty().jam_stats.efficacy(), None);
+    }
+
+    #[test]
+    fn sched_stats_skipped_fraction() {
+        let r = report();
+        assert!((r.sched_stats.skipped_fraction(r.slots_run) - 0.5).abs() < 1e-12);
+        // Empty run reports zero rather than dividing by zero.
+        assert_eq!(empty().sched_stats.skipped_fraction(0), 0.0);
     }
 
     #[test]

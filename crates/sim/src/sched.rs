@@ -18,6 +18,8 @@ use std::collections::BTreeMap;
 pub struct WakeQueue {
     calendar: BTreeMap<u64, Vec<usize>>,
     parked: usize,
+    pushes: u64,
+    peak: usize,
 }
 
 impl WakeQueue {
@@ -30,6 +32,8 @@ impl WakeQueue {
     pub fn push(&mut self, slot: u64, job: usize) {
         self.calendar.entry(slot).or_default().push(job);
         self.parked += 1;
+        self.pushes += 1;
+        self.peak = self.peak.max(self.parked);
     }
 
     /// The earliest wake slot, if any job is parked.
@@ -57,6 +61,17 @@ impl WakeQueue {
     /// True when no job is parked.
     pub fn is_empty(&self) -> bool {
         self.parked == 0
+    }
+
+    /// Total park operations over the queue's lifetime (one job can park
+    /// many times; feeds [`crate::metrics::SchedStats::parks`]).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Peak simultaneous occupancy over the queue's lifetime.
+    pub fn peak(&self) -> usize {
+        self.peak
     }
 }
 
@@ -86,5 +101,19 @@ mod tests {
         assert_eq!(out, vec![2, 0]);
         assert!(q.is_empty());
         assert_eq!(q.next_wake(), None);
+    }
+
+    #[test]
+    fn lifetime_counters_survive_pops() {
+        let mut q = WakeQueue::new();
+        q.push(3, 0);
+        q.push(5, 1);
+        let mut out = Vec::new();
+        q.pop_due(10, &mut out);
+        q.push(20, 0);
+        // Counters are cumulative: emptying the queue does not reset them.
+        assert_eq!(q.pushes(), 3);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.len(), 1);
     }
 }

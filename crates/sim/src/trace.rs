@@ -99,6 +99,9 @@ pub struct TraceTally {
     pub collision: u64,
     /// Jammed slots.
     pub jammed: u64,
+    /// Successful slots that carried a data message (subset of `success`,
+    /// mirroring [`crate::metrics::SlotCounts::data_success`]).
+    pub data_success: u64,
 }
 
 /// Tally a trace's slot outcomes.
@@ -107,7 +110,12 @@ pub fn tally(trace: &[SlotRecord]) -> TraceTally {
     for rec in trace {
         match rec.outcome {
             SlotOutcome::Silent => t.silent += 1,
-            SlotOutcome::Success { .. } => t.success += 1,
+            SlotOutcome::Success { was_data, .. } => {
+                t.success += 1;
+                if was_data {
+                    t.data_success += 1;
+                }
+            }
             SlotOutcome::Collision { .. } => t.collision += 1,
             SlotOutcome::Jammed { .. } => t.jammed += 1,
             SlotOutcome::SilentGap { len } => t.silent += len,
@@ -153,9 +161,24 @@ mod tests {
                 silent: 1002,
                 success: 1,
                 collision: 1,
-                jammed: 1
+                jammed: 1,
+                data_success: 1
             }
         );
+    }
+
+    #[test]
+    fn control_success_does_not_count_as_data() {
+        let trace = vec![rec(
+            0,
+            SlotOutcome::Success {
+                src: 0,
+                was_data: false,
+            },
+        )];
+        let t = tally(&trace);
+        assert_eq!(t.success, 1);
+        assert_eq!(t.data_success, 0);
     }
 
     #[test]

@@ -19,6 +19,21 @@ pub fn batch(n: usize, w: u64) -> Instance {
     Instance::new(format!("batch(n={n},w={w})"), jobs)
 }
 
+/// `n` jobs with window `w`, job `i` released at `i * stride` — the
+/// staggered-arrival pattern PUNCTUAL's synchronizer must absorb (later
+/// arrivals adopt the round train the first job establishes). An unaligned
+/// `stride` exercises the local-clock path; `stride = 0` degenerates to
+/// [`batch`].
+pub fn staggered(n: usize, stride: u64, w: u64) -> Instance {
+    let jobs = (0..n)
+        .map(|i| {
+            let r = i as u64 * stride;
+            JobSpec::new(i as u32, r, r + w)
+        })
+        .collect();
+    Instance::new(format!("staggered(n={n},stride={stride},w={w})"), jobs)
+}
+
 /// The starvation instance from Lemma 5: all `n` jobs released at slot 0,
 /// job `j` (1-based) with window size `j * inv_gamma` (i.e. `w_j = j/γ`).
 ///
@@ -229,6 +244,15 @@ mod tests {
         let b = batch(5, 32);
         assert_eq!(b.n(), 5);
         assert!(b.jobs.iter().all(|j| j.release == 0 && j.deadline == 32));
+    }
+
+    #[test]
+    fn staggered_shape() {
+        let s = staggered(3, 23, 64);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.jobs[2].release, 46);
+        assert_eq!(s.jobs[2].deadline, 46 + 64);
+        assert!(s.jobs.iter().all(|j| j.window() == 64));
     }
 
     #[test]

@@ -1,14 +1,21 @@
-//! Trace explorer: step inside one PUNCTUAL execution with the ASCII Gantt
-//! renderer — watch synchronization, the round train, leader beacons, and
-//! the embedded ALIGNED protocol working on a real channel.
+//! Trace explorer: step inside one PUNCTUAL execution two ways — the ASCII
+//! Gantt renderer for a quick terminal look, and the streaming probe layer
+//! for a Perfetto/Chrome trace you can scrub interactively.
 //!
 //! ```sh
 //! cargo run --release --example trace_explorer [seed]
 //! ```
+//!
+//! The run writes `trace_explorer_perfetto.json`; open it at
+//! <https://ui.perfetto.dev> (or `chrome://tracing`) to see one track per
+//! job carrying its protocol-phase spans (sync-listen → slingshot →
+//! follow/leader/anarchist) and instant markers for leader elections,
+//! anarchist conversions, and size estimates.
 
 use contention_deadlines::protocols::{PunctualParams, PunctualProtocol};
 use contention_deadlines::sim::gantt::{render_gantt, GanttOptions};
 use contention_deadlines::sim::prelude::*;
+use contention_deadlines::workloads::generators::staggered;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -17,15 +24,16 @@ fn main() {
         .unwrap_or(2026);
 
     // Four jobs with staggered, unaligned arrivals sharing a 2^13 window.
-    let jobs: Vec<JobSpec> = (0..4)
-        .map(|i| {
-            let r = u64::from(i) * 23;
-            JobSpec::new(i, r, r + (1 << 13))
-        })
-        .collect();
+    let instance = staggered(4, 23, 1 << 13);
 
-    let mut engine = Engine::new(EngineConfig::default().with_trace(), seed);
-    engine.add_jobs(&jobs, PunctualProtocol::factory(PunctualParams::laptop()));
+    let probe = ProbeSpec::new()
+        .with(SinkSpec::ChromeTrace)
+        .with(SinkSpec::Events);
+    let mut engine = Engine::new(EngineConfig::default().with_trace().with_probe(probe), seed);
+    engine.add_jobs(
+        &instance.jobs,
+        PunctualProtocol::factory(PunctualParams::laptop()),
+    );
     let report = engine.run();
 
     println!(
@@ -70,9 +78,65 @@ fn main() {
         }
     }
 
+    // Probe-event walkthrough: the protocol's own narration of the run.
+    let probes = report.probes.as_ref().expect("probe configured");
+    println!("--- probe events (what each job said it was doing) ---");
+    for rec in probes.events().expect("events sink configured") {
+        let job = rec.job.map_or("engine".to_string(), |j| format!("job {j}"));
+        match &rec.event {
+            ProbeEvent::PhaseEnter { phase } => {
+                println!("slot {:>5}  {job:>7}  → phase {phase}", rec.slot);
+            }
+            ProbeEvent::LeaderElected => {
+                println!("slot {:>5}  {job:>7}  * elected leader", rec.slot);
+            }
+            ProbeEvent::AnarchistConversion { from } => {
+                println!(
+                    "slot {:>5}  {job:>7}  ! went anarchist (from {from})",
+                    rec.slot
+                );
+            }
+            ProbeEvent::SizeEstimate {
+                class,
+                n_est,
+                n_true,
+            } => {
+                println!(
+                    "slot {:>5}  {job:>7}  estimate: class {class} has ≈{n_est} (truth {n_true})",
+                    rec.slot
+                );
+            }
+            ProbeEvent::Preemption { class, by_class } => {
+                println!(
+                    "slot {:>5}  {job:>7}  class {class} preempted by class {by_class}",
+                    rec.slot
+                );
+            }
+            ProbeEvent::JobRetired {
+                success, latency, ..
+            } => {
+                let verdict = if *success { "delivered" } else { "missed" };
+                println!(
+                    "slot {:>5}  {job:>7}  {verdict} after {latency} slots",
+                    rec.slot
+                );
+            }
+            // Engine scheduling events — noisy here; SchedStats summarizes.
+            ProbeEvent::GapSkip { .. } | ProbeEvent::WakeQueueStats { .. } => {}
+        }
+    }
+
+    // The same run as a Perfetto file, for interactive scrubbing.
+    let path = "trace_explorer_perfetto.json";
+    let json = probes.chrome_trace().expect("chrome trace configured");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nwrote {path} — open it at https://ui.perfetto.dev"),
+        Err(e) => println!("\nfailed to write {path}: {e}"),
+    }
+
     // Channel totals.
     println!(
-        "channel totals: {} successes / {} collisions / {} silent over {} slots",
+        "\nchannel totals: {} successes / {} collisions / {} silent over {} slots",
         report.counts.success, report.counts.collision, report.counts.silent, report.slots_run
     );
     println!(

@@ -418,6 +418,64 @@ fn poisson_punctual_matches_dense() {
     }
 }
 
+/// Run with Chrome-trace + aggregating sinks attached and return both
+/// outputs in serialized form.
+fn probe_outputs(config: EngineConfig, seed: u64, setup: &dyn Fn(&mut Engine)) -> (String, String) {
+    use contention_deadlines::sim::probe::{ProbeSpec, SinkSpec};
+    let probe = ProbeSpec::new()
+        .with(SinkSpec::ChromeTrace)
+        .with(SinkSpec::Aggregate);
+    let mut engine = Engine::new(config.with_probe(probe), seed);
+    setup(&mut engine);
+    let report = engine.run();
+    let probes = report.probes.expect("probe configured");
+    let chrome = probes.chrome_trace().expect("chrome sink").to_string();
+    let agg = serde_json::to_string(probes.aggregate().expect("aggregate sink"))
+        .expect("aggregate serializes");
+    (chrome, agg)
+}
+
+/// Scheduling-mode determinism of the probe sinks: the Chrome trace and
+/// the aggregate report must be byte-identical between event-driven and
+/// dense runs of the same seed. Scheduling-dependent events (GapSkip,
+/// WakeQueueStats) are excluded from the Chrome render by design; every
+/// protocol-emitted event must land on the same slot in both modes.
+#[test]
+fn probe_sinks_byte_identical_across_modes() {
+    let params = PunctualParams::laptop();
+    let jobs = staggered(6, 113, 1 << 12);
+    let setup = |e: &mut Engine| e.add_jobs(&jobs, PunctualProtocol::factory(params));
+    for seed in 0..3u64 {
+        let (chrome_e, agg_e) = probe_outputs(EngineConfig::default(), seed, &setup);
+        let (chrome_d, agg_d) = probe_outputs(EngineConfig::default().dense(), seed, &setup);
+        assert_eq!(chrome_e, chrome_d, "punctual chrome diverges (seed {seed})");
+        assert_eq!(agg_e, agg_d, "punctual aggregate diverges (seed {seed})");
+    }
+
+    let aparams = AlignedParams::new(1, 2, 8);
+    let instance = aligned_classes(
+        &[
+            ClassSpec {
+                class: 8,
+                jobs_per_window: 3,
+            },
+            ClassSpec {
+                class: 10,
+                jobs_per_window: 4,
+            },
+        ],
+        1 << 11,
+        None,
+    );
+    let setup = |e: &mut Engine| e.add_jobs(&instance.jobs, AlignedProtocol::factory(aparams));
+    for seed in 0..3u64 {
+        let (chrome_e, agg_e) = probe_outputs(EngineConfig::aligned(), seed, &setup);
+        let (chrome_d, agg_d) = probe_outputs(EngineConfig::aligned().dense(), seed, &setup);
+        assert_eq!(chrome_e, chrome_d, "aligned chrome diverges (seed {seed})");
+        assert_eq!(agg_e, agg_d, "aligned aggregate diverges (seed {seed})");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -155,6 +155,63 @@ fn sim_report_without_jam_stats_field_still_loads() {
 }
 
 #[test]
+fn probe_spec_roundtrips() {
+    let spec = ProbeSpec::new()
+        .with(SinkSpec::Ring { capacity: 4096 })
+        .with(SinkSpec::Aggregate)
+        .with(SinkSpec::ChromeTrace)
+        .with(SinkSpec::Sample { period: 64 })
+        .with(SinkSpec::Events);
+    assert_eq!(roundtrip(&spec), spec);
+    assert_eq!(roundtrip(&ProbeSpec::default()), ProbeSpec::default());
+}
+
+#[test]
+fn sim_report_with_probes_roundtrips() {
+    // ProbeOutput carries histograms (no PartialEq), so compare the
+    // serialized form: serialize → deserialize → serialize must be stable.
+    use contention_deadlines::protocols::Uniform;
+    let inst = batch(4, 64);
+    let probe = ProbeSpec::new()
+        .with(SinkSpec::Ring { capacity: 16 })
+        .with(SinkSpec::Aggregate)
+        .with(SinkSpec::Events);
+    let mut e = Engine::new(EngineConfig::default().with_probe(probe), 9);
+    e.add_jobs(&inst.jobs, |_| Box::new(Uniform::single()));
+    let report = e.run();
+    assert!(report.probes.is_some());
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: contention_deadlines::sim::metrics::SimReport =
+        serde_json::from_str(&json).expect("deserialize");
+    let json2 = serde_json::to_string(&back).expect("re-serialize");
+    assert_eq!(json, json2);
+    assert_eq!(back.sched_stats, report.sched_stats);
+}
+
+#[test]
+fn sim_report_without_sched_stats_field_still_loads() {
+    // Artifacts archived before the probe layer existed lack `sched_stats`
+    // and `probes`; deserialization must default them, not fail.
+    use contention_deadlines::protocols::Uniform;
+    let inst = batch(2, 32);
+    let mut e = Engine::new(EngineConfig::default(), 13);
+    e.add_jobs(&inst.jobs, |_| Box::new(Uniform::single()));
+    let report = e.run();
+    let mut json: serde_json::Value = serde_json::to_value(&report).expect("serialize");
+    match &mut json {
+        serde_json::Value::Object(pairs) => {
+            pairs.retain(|(key, _)| key != "sched_stats" && key != "probes")
+        }
+        other => panic!("SimReport should serialize to an object, got {other:?}"),
+    }
+    let back: contention_deadlines::sim::metrics::SimReport =
+        serde_json::from_value(&json).expect("deserialize legacy report");
+    assert_eq!(back.sched_stats, SchedStats::default());
+    assert!(back.probes.is_none());
+    assert_eq!(back.counts, report.counts);
+}
+
+#[test]
 fn experiment_report_roundtrips() {
     use dcr_stats::{CheckResult, ExperimentReport, MetricRow, Param, Provenance, Timing};
     let report = ExperimentReport {
