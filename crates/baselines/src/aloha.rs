@@ -4,7 +4,7 @@
 //! E1 (measuring Lemma 2's contention/success relationship) and as a naive
 //! comparator in the end-to-end shootout.
 
-use dcr_sim::engine::{Action, JobCtx, Protocol};
+use dcr_sim::engine::{Action, CohortTx, JobCtx, Protocol};
 use dcr_sim::message::Payload;
 use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
@@ -67,6 +67,17 @@ impl Protocol for FixedProbability {
 
     fn tx_probability(&self, _ctx: &JobCtx) -> Option<f64> {
         Some(if self.succeeded { 0.0 } else { self.p })
+    }
+
+    fn cohort_tx(&self, ctx: &JobCtx) -> Option<CohortTx> {
+        // ALOHA is *exactly* the cohort model: Bernoulli(p) every slot,
+        // never listening, until delivery. Probed jobs stay on the exact
+        // path so their event streams keep flowing.
+        if ctx.probed {
+            None
+        } else {
+            Some(CohortTx::Constant { p: self.p })
+        }
     }
 }
 

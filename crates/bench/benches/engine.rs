@@ -80,11 +80,64 @@ fn bench_scheduling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trial-arena reuse: per-trial engine construction through the
+/// thread-local pool (`Engine::new` after a previous engine's drop) vs
+/// allocating everything fresh (`Engine::fresh`) vs explicit `reset` of one
+/// long-lived engine. The three produce identical reports; the spread is
+/// pure allocator traffic.
+fn bench_trial_reuse(c: &mut Criterion) {
+    let n = 200u32;
+    let window = 512u64;
+    let populate = |e: &mut Engine, seed: u64| {
+        for i in 0..n {
+            e.add_job(
+                JobSpec::new(i, 0, window),
+                Box::new(FixedProbability::new(2.0 / f64::from(n))),
+            );
+        }
+        let _ = seed;
+    };
+    let mut group = c.benchmark_group("engine/trial_reuse");
+    group.throughput(Throughput::Elements(window));
+    group.bench_function("fresh", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut e = Engine::fresh(EngineConfig::default(), seed);
+            populate(&mut e, seed);
+            e.run().slots_run
+        })
+    });
+    group.bench_function("pooled", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            // Dropping the previous iteration's engine stocked the
+            // thread-local arena; this construction drains it.
+            let mut e = Engine::new(EngineConfig::default(), seed);
+            populate(&mut e, seed);
+            e.run().slots_run
+        })
+    });
+    group.bench_function("reset", |b| {
+        let mut seed = 0u64;
+        let mut e = Engine::new(EngineConfig::default(), 0);
+        b.iter(|| {
+            seed += 1;
+            e.reset(seed);
+            populate(&mut e, seed);
+            e.run().slots_run
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_slot_throughput,
     bench_trace_overhead,
     bench_jammer_overhead,
-    bench_scheduling
+    bench_scheduling,
+    bench_trial_reuse
 );
 criterion_main!(benches);

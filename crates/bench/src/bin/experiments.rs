@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] [--trials N]
-//!             [--out DIR] [--json DIR] [--probe DIR] [--list]
+//!             [--threads N] [--out DIR] [--json DIR] [--probe DIR] [--list]
 //! ```
 //!
 //! With no ids, runs the full suite in order; `--only` selects experiments
@@ -110,6 +110,20 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage_error("--trials must be an integer"));
             }
+            "--threads" => {
+                // Pin the Monte-Carlo worker count (recorded in the
+                // artifacts' provenance) so runs on heterogeneous CI
+                // machines are comparable. Results never depend on it.
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threads needs a value"));
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_error("--threads must be a positive integer"));
+                dcr_sim::runner::set_worker_override(Some(n));
+            }
             "--only" => {
                 // Explicit selection flag (equivalent to positional ids;
                 // accepts comma-separated lists for script friendliness).
@@ -127,7 +141,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] \
-                     [--trials N] [--out DIR] [--json DIR] [--probe DIR] [--list]\nids: {}",
+                     [--trials N] [--threads N] [--out DIR] [--json DIR] [--probe DIR] \
+                     [--list]\nids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -208,7 +223,9 @@ fn main() {
             } else {
                 0.0
             },
-            provenance: Provenance::capture(),
+            provenance: Provenance::capture_with_threads(dcr_sim::runner::configured_workers(
+                u64::MAX,
+            ) as u64),
         };
         let json = serde_json::to_string_pretty(&summary).expect("serialize suite summary");
         let path = dir.join("BENCH_summary.json");

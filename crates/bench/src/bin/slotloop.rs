@@ -6,6 +6,13 @@
 //! and writes before/after slots-per-second plus speedups to
 //! `BENCH_slotloop.json` at the workspace root.
 //!
+//! One additional row (`mode: "cohort"`) measures [`Fidelity::Cohort`] on
+//! a 10⁵-job UNIFORM population. Cohort mode is statistically — not
+//! bit- — equivalent to the exact path, so that row compares against the
+//! exact engine under *event* scheduling (its `dense_slots_per_sec` field
+//! holds the exact-fidelity event-mode rate) and cross-checks the success
+//! fractions instead of the full reports.
+//!
 //! Timing uses the engine's own `engine_nanos` (slot-loop wall time), so
 //! setup and report assembly are excluded. Each configuration runs
 //! `REPS` times per mode and the fastest rep is kept — standard practice
@@ -15,7 +22,7 @@ use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
 use dcr_core::punctual::PunctualParams;
 use dcr_core::uniform::Uniform;
 use dcr_core::PunctualProtocol;
-use dcr_sim::engine::{Engine, EngineConfig, Protocol, Scheduling};
+use dcr_sim::engine::{Engine, EngineConfig, Fidelity, Protocol, Scheduling};
 use dcr_sim::job::JobSpec;
 use dcr_sim::metrics::SimReport;
 use dcr_workloads::generators::poisson;
@@ -31,6 +38,11 @@ struct Row {
     workload: String,
     jobs: usize,
     slots_run: u64,
+    /// `"exact"` rows compare dense vs event scheduling; the `"cohort"`
+    /// row compares exact vs cohort fidelity (both event-driven), with the
+    /// exact rate in `dense_slots_per_sec` and the cohort rate in
+    /// `event_slots_per_sec`.
+    mode: &'static str,
     dense_slots_per_sec: f64,
     event_slots_per_sec: f64,
     speedup: f64,
@@ -131,9 +143,10 @@ fn backoff_mix(n: u32, window: u64) -> Workload {
     }
 }
 
-fn run_mode(w: &Workload, scheduling: Scheduling) -> SimReport {
+fn run_mode(w: &Workload, scheduling: Scheduling, fidelity: Fidelity) -> SimReport {
     let config = EngineConfig {
         scheduling,
+        fidelity,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(config, SEED);
@@ -145,11 +158,11 @@ fn run_mode(w: &Workload, scheduling: Scheduling) -> SimReport {
 
 /// Fastest slots/sec over `REPS` runs; also returns the last report for
 /// the cross-check.
-fn best_rate(w: &Workload, scheduling: Scheduling) -> (f64, SimReport) {
+fn best_rate(w: &Workload, scheduling: Scheduling, fidelity: Fidelity) -> (f64, SimReport) {
     let mut best = 0.0f64;
     let mut last = None;
     for _ in 0..REPS {
-        let report = run_mode(w, scheduling);
+        let report = run_mode(w, scheduling, fidelity);
         let secs = report.engine_nanos as f64 / 1e9;
         if secs > 0.0 {
             best = best.max(report.slots_run as f64 / secs);
@@ -157,6 +170,21 @@ fn best_rate(w: &Workload, scheduling: Scheduling) -> (f64, SimReport) {
         last = Some(report);
     }
     (best, last.expect("REPS >= 1"))
+}
+
+/// The cohort showcase: a population far beyond what per-job simulation
+/// sweeps comfortably, shaped like experiment E2's UNIFORM batches.
+fn uniform_cohort(n: u32, window: u64) -> Workload {
+    Workload {
+        name: format!("e2-uniform-cohort n={n} w=2^{}", window.trailing_zeros()),
+        jobs: (0..n)
+            .map(|i| {
+                let spec = JobSpec::new(i, 0, window);
+                let f: ProtocolFactory = Box::new(|| Box::new(Uniform::single()));
+                (spec, f)
+            })
+            .collect(),
+    }
 }
 
 fn main() {
@@ -169,8 +197,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for w in &workloads {
-        let (dense_rate, dense_report) = best_rate(w, Scheduling::Dense);
-        let (event_rate, event_report) = best_rate(w, Scheduling::EventDriven);
+        let (dense_rate, dense_report) = best_rate(w, Scheduling::Dense, Fidelity::Exact);
+        let (event_rate, event_report) = best_rate(w, Scheduling::EventDriven, Fidelity::Exact);
 
         // The speedup is only meaningful if the modes agree.
         assert_eq!(
@@ -210,12 +238,65 @@ fn main() {
             workload: w.name.clone(),
             jobs: w.jobs.len(),
             slots_run: event_report.slots_run,
+            mode: "exact",
             dense_slots_per_sec: dense_rate,
             event_slots_per_sec: event_rate,
             speedup,
             gap_skips: sched.gap_skips,
             gap_slots: sched.gap_slots,
             skipped_fraction,
+            parks: sched.parks,
+            peak_parked: sched.peak_parked,
+        });
+    }
+
+    // Cohort row: exact vs cohort fidelity, both event-driven (dense
+    // polling of 10^5 jobs would take minutes and prove nothing new).
+    {
+        let w = uniform_cohort(100_000, 1 << 19);
+        let (exact_rate, exact_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Exact);
+        let (cohort_rate, cohort_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Cohort);
+        // Statistical cross-check: at n = 10^5 the success fraction's
+        // sampling noise is ~0.2%, so a 2% band is a dozen sigma wide
+        // while still catching any modelling error.
+        let (ef, cf) = (
+            exact_report.success_fraction(),
+            cohort_report.success_fraction(),
+        );
+        assert!(
+            (ef - cf).abs() < 0.02,
+            "{}: cohort success fraction {cf:.4} vs exact {ef:.4}",
+            w.name
+        );
+        let speedup = if exact_rate > 0.0 {
+            cohort_rate / exact_rate
+        } else {
+            f64::NAN
+        };
+        let sched = cohort_report.sched_stats;
+        println!(
+            "{:48} jobs={:4} slots={:8}  exact {:>12.0}/s  cohort {:>11.0}/s  speedup {:5.2}x  \
+             (success {:.3} vs {:.3})",
+            w.name,
+            w.jobs.len(),
+            cohort_report.slots_run,
+            exact_rate,
+            cohort_rate,
+            speedup,
+            cf,
+            ef,
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            jobs: w.jobs.len(),
+            slots_run: cohort_report.slots_run,
+            mode: "cohort",
+            dense_slots_per_sec: exact_rate,
+            event_slots_per_sec: cohort_rate,
+            speedup,
+            gap_skips: sched.gap_skips,
+            gap_slots: sched.gap_slots,
+            skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
         });

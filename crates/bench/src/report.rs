@@ -176,7 +176,8 @@ impl ReportBuilder {
                 0.0
             },
         };
-        self.report.provenance = Provenance::capture();
+        self.report.provenance =
+            Provenance::capture_with_threads(dcr_sim::runner::configured_workers(u64::MAX) as u64);
         ExpOutput {
             text,
             report: self.report,

@@ -50,6 +50,11 @@ struct ClassState {
     class: u32,
     window_start: u64,
     steps: u64,
+    /// Estimation-phase split of `steps`, maintained incrementally so the
+    /// per-slot hot path (`kind_of`, `end_slot`) never divides:
+    /// `steps = phase0 * est_phase_len + step_in_phase` while estimating.
+    phase0: u32,
+    step_in_phase: u64,
     est: Estimation,
     estimate: Option<u64>,
     layout: Option<BroadcastLayout>,
@@ -62,6 +67,8 @@ impl ClassState {
             class,
             window_start,
             steps: 0,
+            phase0: 0,
+            step_in_phase: 0,
             est: Estimation::new(class),
             estimate: None,
             layout: None,
@@ -79,6 +86,11 @@ pub struct Tracker {
     classes: Vec<ClassState>,
     /// The class selected by the last `begin_slot`, consumed by `end_slot`.
     pending: Option<(u64, usize)>,
+    /// Cache: every class below this index is complete. Between window
+    /// boundaries completion is monotone, so this only advances; it rewinds
+    /// to 0 at each multiple of `2^min_class` (the only slots where any
+    /// class can reset).
+    first_live: usize,
 }
 
 impl Tracker {
@@ -102,6 +114,7 @@ impl Tracker {
             top_class,
             classes,
             pending: None,
+            first_live: 0,
         }
     }
 
@@ -117,14 +130,28 @@ impl Tracker {
     /// Must be followed by [`Tracker::end_slot`] for the same `t`.
     pub fn begin_slot(&mut self, t: u64) -> Option<ActiveStep> {
         assert!(self.pending.is_none(), "begin_slot without end_slot");
-        for cs in &mut self.classes {
-            let w = 1u64 << cs.class;
-            if t.is_multiple_of(w) && cs.window_start != t {
-                // A new window begins: truncate whatever was in flight.
-                *cs = ClassState::fresh(cs.class, t);
+        // Window boundaries of every tracked class are multiples of
+        // `2^min_class`; on all other slots the reset scan cannot fire and
+        // completion below `first_live` still holds.
+        if t & ((1u64 << self.params.min_class) - 1) == 0 {
+            for cs in &mut self.classes {
+                // `w` is a power of two, so the boundary test is a mask —
+                // this runs per tracked class and must not divide.
+                let mask = (1u64 << cs.class) - 1;
+                if t & mask == 0 && cs.window_start != t {
+                    // A new window begins: truncate whatever was in flight.
+                    *cs = ClassState::fresh(cs.class, t);
+                }
             }
+            self.first_live = 0;
         }
-        let idx = self.classes.iter().position(|cs| !cs.complete)?;
+        while self.first_live < self.classes.len() && self.classes[self.first_live].complete {
+            self.first_live += 1;
+        }
+        if self.first_live == self.classes.len() {
+            return None;
+        }
+        let idx = self.first_live;
         let cs = &self.classes[idx];
         let kind = self.kind_of(cs);
         self.pending = Some((t, idx));
@@ -138,10 +165,9 @@ impl Tracker {
     fn kind_of(&self, cs: &ClassState) -> StepKind {
         let est_len = self.params.est_len(cs.class);
         if cs.steps < est_len {
-            let phase_len = self.params.est_phase_len(cs.class);
             StepKind::Estimation {
-                phase: (cs.steps / phase_len) as u32 + 1,
-                step_in_phase: cs.steps % phase_len,
+                phase: cs.phase0 + 1,
+                step_in_phase: cs.step_in_phase,
             }
         } else {
             let layout = cs
@@ -163,8 +189,12 @@ impl Tracker {
         let cs = &mut self.classes[idx];
         let est_len = params.est_len(cs.class);
         if cs.steps < est_len {
-            let phase = (cs.steps / params.est_phase_len(cs.class)) as u32 + 1;
-            cs.est.record(phase, fb.is_success());
+            cs.est.record(cs.phase0 + 1, fb.is_success());
+            cs.step_in_phase += 1;
+            if cs.step_in_phase == params.est_phase_len(cs.class) {
+                cs.phase0 += 1;
+                cs.step_in_phase = 0;
+            }
         }
         cs.steps += 1;
         if cs.steps == est_len && cs.estimate.is_none() {
@@ -247,7 +277,7 @@ impl Tracker {
         let min_w = 1u64 << self.params.min_class;
         // Every multiple of 2^min_class resets the smallest class into a
         // fresh estimation, so no plan extends past the next one.
-        let boundary = (now / min_w + 1) * min_w;
+        let boundary = (now | (min_w - 1)) + 1;
         let mut steps: Vec<u64> = self.classes.iter().map(|c| c.steps).collect();
         let mut complete: Vec<bool> = self.classes.iter().map(|c| c.complete).collect();
         let mut t = now + 1;

@@ -11,11 +11,47 @@ use crate::aligned::protocol::{AlignedAction, AlignedJob};
 use crate::punctual::messages::PunctualMsg;
 use crate::punctual::params::{slot_role, PunctualParams, SlotRole, ROUND_LEN};
 use crate::punctual::trim::trim_class;
-use dcr_sim::engine::{Action, JobCtx, Protocol};
+use dcr_sim::engine::{Action, DutyCycle, JobCtx, Protocol};
 use dcr_sim::message::Payload;
 use dcr_sim::probe::{EventBuf, ProbeEvent};
 use dcr_sim::slot::Feedback;
 use rand::{Rng, RngCore};
+
+/// Per-round-position distance to the next duty position, for one set of
+/// duty positions (see [`Protocol::next_wake`]).
+type StepTable = [u8; ROUND_LEN as usize];
+
+/// Build the step table for a duty-position bitmask at compile time:
+/// `table[pos]` is the number of slots from round position `pos` to the
+/// next position whose bit is set (cyclically, so always in `1..=ROUND_LEN`).
+const fn step_table(mask: u16) -> StepTable {
+    let len = ROUND_LEN as usize;
+    let mut table = [0u8; ROUND_LEN as usize];
+    let mut pos = 0;
+    while pos < len {
+        let mut best = len;
+        let mut m = 0;
+        while m < len {
+            if mask & (1 << m) != 0 {
+                let step = (m + len - pos - 1) % len + 1;
+                if step < best {
+                    best = step;
+                }
+            }
+            m += 1;
+        }
+        table[pos] = best as u8;
+        pos += 1;
+    }
+    table
+}
+
+/// Duty positions 0, 1, 3, 7 (start pair, timekeeper, election).
+static SLINGSHOT_STEPS: StepTable = step_table(1 << 0 | 1 << 1 | 1 << 3 | 1 << 7);
+/// Duty positions 0, 1, 3, 5 (start pair, timekeeper, aligned).
+static FOLLOW_STEPS: StepTable = step_table(1 << 0 | 1 << 1 | 1 << 3 | 1 << 5);
+/// Duty positions 0, 1, 9 (start pair, anarchy).
+static ANARCHIST_STEPS: StepTable = step_table(1 << 0 | 1 << 1 | 1 << 9);
 
 /// The shared virtual clock learned from (or established by) a leader.
 #[derive(Debug, Clone, Copy)]
@@ -143,6 +179,13 @@ pub struct PunctualProtocol {
     clock: Option<Clock>,
     succeeded: bool,
     last_prob: f64,
+    /// Window the cached probabilities below were computed for (0 = none).
+    /// `claim_probability`/`anarchy_probability` cost a `log2` + `powi`
+    /// and depend only on the (per-job constant) window, so the hot
+    /// election/anarchy branches read these instead of libm.
+    prob_window: u64,
+    claim_p: f64,
+    anarchy_p: f64,
     /// Probe event buffer; disarmed (and free) unless the engine asks.
     probe: EventBuf,
 }
@@ -161,6 +204,9 @@ impl PunctualProtocol {
             clock: None,
             succeeded: false,
             last_prob: 0.0,
+            prob_window: 0,
+            claim_p: 0.0,
+            anarchy_p: 0.0,
             probe: EventBuf::default(),
         }
     }
@@ -175,6 +221,18 @@ impl PunctualProtocol {
     /// True once this job delivered its data message.
     pub fn has_succeeded(&self) -> bool {
         self.succeeded
+    }
+
+    /// The (claim, anarchy) transmission probabilities for `window`,
+    /// computed once per job instead of once per election/anarchy slot.
+    #[inline]
+    fn cached_probs(&mut self, window: u64) -> (f64, f64) {
+        if self.prob_window != window {
+            self.prob_window = window;
+            self.claim_p = self.params.claim_probability(window);
+            self.anarchy_p = self.params.anarchy_probability(window);
+        }
+        (self.claim_p, self.anarchy_p)
     }
 
     /// True while the job is an anarchist (diagnostic for experiments).
@@ -435,7 +493,7 @@ impl PunctualProtocol {
                 }
             }
             SlotRole::Election => {
-                let p = self.params.claim_probability(ctx.window);
+                let p = self.cached_probs(ctx.window).0;
                 match &mut self.state {
                     State::Slingshot {
                         claims_left,
@@ -466,7 +524,7 @@ impl PunctualProtocol {
             }
             SlotRole::Anarchy => {
                 if matches!(self.state, State::Anarchist) && !self.succeeded {
-                    let p = self.params.anarchy_probability(ctx.window);
+                    let p = self.cached_probs(ctx.window).1;
                     self.last_prob = p;
                     if rng.gen_bool(p) {
                         return Action::Transmit(Payload::Data(ctx.id));
@@ -697,27 +755,87 @@ impl Protocol for PunctualProtocol {
         // election = 7; anarchy = 9). Every other position is a Sleep with
         // no RNG draw or state change, so the engine may park the job
         // between wakes. The state can only change in an acted slot, so
-        // the mask stays valid for the whole parked stretch.
-        let mask: &[u64] = match self.state {
+        // the mask stays valid for the whole parked stretch. This is the
+        // hottest virtual call in punctual workloads (once per wake, ~4
+        // wakes per round per job), so the per-mask "steps to the next
+        // duty position" is precomputed into a table indexed by round
+        // position instead of minimizing over the mask every call.
+        let steps: &StepTable = match self.state {
             // Pre-sync states listen (or announce) in every slot.
             State::SyncListen { .. } | State::SyncAnnounce { .. } => return None,
             State::Done => return Some(u64::MAX),
             // Start pair + timekeeper beacons + election claims (a
             // claimless slingshotter still watches elections).
-            State::Slingshot { .. } | State::Leader { .. } => &[0, 1, 3, 7],
+            State::Slingshot { .. } | State::Leader { .. } => &SLINGSHOT_STEPS,
             // Start pair + timekeeper beacons + aligned virtual slots.
-            State::Follow { .. } => &[0, 1, 3, 5],
+            State::Follow { .. } => &FOLLOW_STEPS,
             // Start pair + the anarchy slot.
-            State::Anarchist => &[0, 1, 9],
+            State::Anarchist => &ANARCHIST_STEPS,
         };
         let anchor = self.anchor.expect("synchronized states have an anchor");
         let pos = (ctx.local_time - anchor) % ROUND_LEN;
-        let step = mask
-            .iter()
-            .map(|&m| (m + ROUND_LEN - pos - 1) % ROUND_LEN + 1)
-            .min()
-            .expect("masks are non-empty");
-        Some(ctx.local_time + step)
+        Some(ctx.local_time + u64::from(steps[pos as usize]))
+    }
+
+    fn duty_cycle(&self, _ctx: &JobCtx) -> Option<DutyCycle> {
+        // Once synchronized, a job's schedule is periodic in the round: the
+        // start pair (positions 0, 1) is an unconditional `Start` broadcast
+        // that no state reacts to — declared as standing transmissions so
+        // the engine accounts it in aggregate — and the remaining duty
+        // positions depend on the state exactly as in `next_wake`. The
+        // state (hence the mask) can only change in an acted slot, and
+        // every synchronized state declares a cycle until `Done`, so the
+        // engine's persistence contract holds.
+        let (wake_mask, listen_mask): (u64, u64) = match self.state {
+            // Pre-synchronization states poll densely; `Done` is retired by
+            // the engine before this is ever consulted.
+            State::SyncListen { .. } | State::SyncAnnounce { .. } | State::Done => return None,
+            // Timekeeper beacons + election claims (a claimless
+            // slingshotter still watches elections). Slingshot reactions to
+            // the beacon depend on per-member state (claims left, deadline),
+            // so the timekeeper slot stays a full wake for them.
+            State::Slingshot { .. } | State::Leader { .. } => (1 << 3 | 1 << 7, 0),
+            // Aligned virtual slots need a real act; the timekeeper beacon
+            // is a pure listen, group-resolved via `duty_listen` (a stable
+            // leader's beacon re-states what every follower's clock already
+            // knows).
+            State::Follow { .. } => (1 << 5, 1 << 3),
+            // Only the anarchy slot.
+            State::Anarchist => (1 << 9, 0),
+        };
+        Some(DutyCycle {
+            period: ROUND_LEN as u8,
+            wake_mask,
+            tx_mask: 1 << 0 | 1 << 1,
+            tx_payload: PunctualMsg::Start.encode(),
+            listen_mask,
+            anchor_local: self.anchor.expect("synchronized states have an anchor"),
+        })
+    }
+
+    fn duty_listen(&self, ctx: &JobCtx, fb: &Feedback) -> bool {
+        // Only `Follow` declares a listen position (the timekeeper slot).
+        // Its `on_timekeeper` arm reacts solely to epoch changes, and the
+        // clock refresh a beacon performs is semantically idempotent when
+        // the epoch matches and the round count agrees with what the clock
+        // already predicts (both advance one round per round on the same
+        // grid, so agreement now means agreement at every future round
+        // start). Every follower in a duty group shares the leader's epoch
+        // and round count — they all heard the same beacon history — so one
+        // member's answer holds for all. Any non-beacon feedback (silence,
+        // noise, a deposed leader's data handoff) leaves a follower's state
+        // untouched.
+        match fb.payload().and_then(PunctualMsg::decode) {
+            Some(PunctualMsg::Beacon { epoch, rho, .. }) => match self.clock {
+                Some(c) => {
+                    let l = ctx.local_time;
+                    let round_start = l - self.pos(l);
+                    c.epoch == epoch && c.rho(round_start) == rho
+                }
+                None => false,
+            },
+            _ => true,
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 //!
 //! Experiments E2 and E3 reproduce both facts.
 
-use dcr_sim::engine::{Action, JobCtx, Protocol};
+use dcr_sim::engine::{Action, CohortTx, JobCtx, Protocol};
 use dcr_sim::message::Payload;
 use dcr_sim::probe::{EventBuf, ProbeEvent};
 use rand::{Rng, RngCore};
@@ -100,6 +100,18 @@ impl Protocol for Uniform {
         // A-priori per-slot probability: k/w (the quantity the paper sums
         // into C(t) when analysing UNIFORM).
         Some(self.attempts.min(ctx.window as usize) as f64 / ctx.window as f64)
+    }
+
+    fn cohort_tx(&self, ctx: &JobCtx) -> Option<CohortTx> {
+        // The canonical k = 1 variant is exactly the engine's one-shot
+        // aggregate model (one attempt, uniform over the window). k ≥ 2
+        // draws distinct slots without replacement, which does not reduce
+        // to one binomial per slot, so it stays on the exact path — as do
+        // probed jobs, whose event streams must keep flowing.
+        if ctx.probed || self.attempts != 1 {
+            return None;
+        }
+        Some(CohortTx::OneShot)
     }
 
     fn next_wake(&self, ctx: &JobCtx) -> Option<u64> {

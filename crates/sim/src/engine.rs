@@ -17,17 +17,39 @@
 //! [`EngineConfig::expose_aligned_clock`] is set (valid only for the
 //! power-of-2-aligned special case of Section 3, where window alignment
 //! makes a shared clock implicitly available).
+//!
+//! ## Hot-path layout
+//!
+//! Job state is a struct-of-arrays [`JobTable`]: specs, protocol objects,
+//! RNG streams, outcomes, and access counters live in parallel vectors
+//! indexed by job id. The per-slot loop walks an **active set** of indices
+//! and retires or parks jobs by `swap_remove`, so retired and not-yet-released
+//! jobs cost nothing per slot. The visiting *order* of the active set is
+//! therefore arbitrary — which is sound because every observable outcome
+//! depends only on per-job private RNG streams and the slot's aggregate
+//! transmission count, never on the order jobs were polled in.
+//!
+//! ## Trial arena
+//!
+//! Engines are reusable: [`Engine::reset`] returns a used engine to its
+//! just-constructed state while keeping every internal allocation (job
+//! table, wake queue, scratch buffers), and a dropped engine donates those
+//! allocations to a thread-local pool that the next [`Engine::new`] on the
+//! same thread drains. Monte-Carlo workers therefore allocate their
+//! simulation state once per thread, not once per trial, with bit-identical
+//! results (the reset contract is exactly "everything derived from the seed
+//! and the jobs is cleared").
 
 use crate::jamming::{Jammer, SlotView};
 use crate::job::{JobId, JobSpec};
 use crate::message::Payload;
 use crate::metrics::{AccessCounts, JamStats, JobOutcome, SchedStats, SimReport, SlotCounts};
 use crate::probe::{ProbeBus, ProbeEvent, ProbeRecord, ProbeReport, ProbeSpec, VecSink};
-use crate::rng::{SeedSeq, StreamLabel};
+use crate::rng::{sample_binomial, SeedSeq, StreamLabel};
 use crate::sched::WakeQueue;
 use crate::slot::Feedback;
 use crate::trace::{SlotOutcome, SlotRecord};
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
 
 /// A job's decision for one slot.
@@ -80,6 +102,56 @@ impl JobCtx {
     }
 }
 
+/// A transmission profile a protocol can expose so the engine may simulate
+/// the job in aggregate under [`Fidelity::Cohort`].
+///
+/// The common contract: from activation until delivery or deadline the job
+/// never listens, and its transmissions follow the declared model exactly
+/// (in distribution). Jobs with the same profile and deadline form one
+/// cohort whose per-slot transmitter *count* is a single binomial draw
+/// instead of one Bernoulli draw per job — so both models below are exact,
+/// not approximations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CohortTx {
+    /// "Transmit the data message with probability `p` in every slot,
+    /// independently" — the memoryless model (slotted ALOHA).
+    Constant {
+        /// Per-slot transmission probability, constant for the lifetime.
+        p: f64,
+    },
+    /// "Transmit exactly once, in a slot chosen uniformly over the
+    /// window" — UNIFORM `k = 1`'s one-shot draw. Simulated exactly via
+    /// its sequential decomposition: a member that has not yet attempted
+    /// transmits at slot `t` with hazard `1/(deadline − t)`, so the count
+    /// is `Binomial(not-yet-attempted, 1/(deadline − t))` per slot.
+    OneShot,
+}
+
+/// A periodic duty schedule (see [`Protocol::duty_cycle`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Pattern length in slots (`0 < period ≤ 64`).
+    pub period: u8,
+    /// Positions (bit `i` = position `i`) needing a real `act()` call.
+    pub wake_mask: u64,
+    /// Positions with an unconditional, state-free transmission of
+    /// `tx_payload`. Must be disjoint from `wake_mask`.
+    pub tx_mask: u64,
+    /// The payload broadcast at `tx_mask` positions. Never a data message.
+    pub tx_payload: Payload,
+    /// Positions where the job always listens, consumes no randomness, and
+    /// — for the overwhelmingly common feedback — changes no state. Must be
+    /// disjoint from both other masks. The engine resolves these positions
+    /// per *group*: one representative member is asked, via
+    /// [`Protocol::duty_listen`], whether the slot's feedback is
+    /// group-invariant; only when it is not does every member get an
+    /// individual `on_feedback` call. Per-member listen counters are
+    /// settled lazily in closed form, like standing transmissions.
+    pub listen_mask: u64,
+    /// The *local* slot that is position 0 of the pattern.
+    pub anchor_local: u64,
+}
+
 /// A contention-resolution protocol driving a single job.
 ///
 /// One value of this trait is instantiated per job; all coordination happens
@@ -129,6 +201,71 @@ pub trait Protocol {
         None
     }
 
+    /// Stronger scheduling hint for protocols whose wake pattern is
+    /// *periodic*: a duty cycle declares, relative to a protocol-chosen
+    /// anchor, a repeating pattern of **wake positions** (slots needing a
+    /// real `act()` call) and **standing-transmission positions** (slots
+    /// where the protocol would deterministically transmit `tx_payload`
+    /// with probability 1, drawing no randomness and changing no state, and
+    /// where the slot's feedback would change no state either). Every other
+    /// position promises [`Action::Sleep`] exactly as under
+    /// [`Protocol::next_wake`].
+    ///
+    /// Under [`Scheduling::EventDriven`] the engine keeps such jobs in
+    /// per-schedule **duty groups**: wake positions are visited by group
+    /// membership with no wake-queue traffic, and standing positions are
+    /// resolved in aggregate — the transmissions still occupy the channel
+    /// (colliding, getting jammed, and being heard by listeners exactly as
+    /// if `act` had run) while per-member transmission counters are settled
+    /// lazily in closed form. Results stay bit-identical to dense polling.
+    ///
+    /// Contract: `0 < period ≤ 64`; the masks index positions
+    /// `(local_time - anchor_local) % period` and must be disjoint;
+    /// `tx_payload` must not be a data message; and a protocol that returns
+    /// `Some` must keep returning `Some` until it is done (the schedule
+    /// itself may change between calls) — for a registered job, returning
+    /// `None` *is* the completion signal: the engine retires the job
+    /// exactly as it would on [`Protocol::is_done`], which is not polled
+    /// separately on this path. Takes precedence over `next_wake`; the
+    /// default (`None`) opts out.
+    fn duty_cycle(&self, _ctx: &JobCtx) -> Option<DutyCycle> {
+        None
+    }
+
+    /// Group-invariance check for [`DutyCycle::listen_mask`] positions.
+    ///
+    /// Called on **one representative member** of a duty group whose
+    /// pattern has a listen bit at the current position, after the slot
+    /// resolved. Returning `true` asserts that *every* job registered under
+    /// this member's duty schedule would, on observing `fb` at this
+    /// position, neither change state nor emit probe events — so the engine
+    /// skips the per-member `on_feedback` fan-out entirely (listen counters
+    /// are settled lazily). Returning `false` (the default) makes the
+    /// engine deliver `fb` to every member individually, which is always
+    /// correct.
+    ///
+    /// The answer must be derivable from group-uniform information: the
+    /// feedback itself plus state that the schedule key forces all members
+    /// to share. A protocol whose members can disagree on the answer must
+    /// not declare listen positions. The engine additionally forces the
+    /// fan-out whenever `fb` delivers a member's own data message, so
+    /// implementations need not handle that case.
+    fn duty_listen(&self, _ctx: &JobCtx, _fb: &Feedback) -> bool {
+        false
+    }
+
+    /// Aggregate-simulation hint: a constant per-slot transmission profile
+    /// for this job, if its whole lifetime is statistically equivalent to
+    /// one (see [`CohortTx`]). Consulted once, at the job's release slot,
+    /// and only under [`Fidelity::Cohort`]; a cohort-managed job receives
+    /// **no** protocol callbacks at all — the engine samples its behavior in
+    /// aggregate. Protocols whose behavior depends on feedback, phase, or
+    /// any evolving state must return `None` (the default), which keeps the
+    /// job on the exact per-job path even in cohort mode.
+    fn cohort_tx(&self, _ctx: &JobCtx) -> Option<CohortTx> {
+        None
+    }
+
     /// Move any buffered [`ProbeEvent`]s into `out`. Called once per slot
     /// (after feedback delivery) for every polled job while a sink wants
     /// events; the engine stamps each event with the slot and job id.
@@ -154,6 +291,23 @@ pub enum Scheduling {
     Dense,
 }
 
+/// How faithfully individual jobs are simulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Every job is simulated individually. Bit-exact and the default.
+    #[default]
+    Exact,
+    /// Jobs whose protocol reports a [`Protocol::cohort_tx`] profile are
+    /// grouped by `(probability, deadline)` and the *number* of transmitters
+    /// each cohort contributes per slot is drawn from a binomial; an
+    /// individual member is materialized only when it is the slot's sole
+    /// transmitter. O(cohorts) per slot instead of O(jobs), which unlocks
+    /// populations of 10⁵ and beyond. Results are statistically equivalent
+    /// to [`Fidelity::Exact`] (same distributions), not bit-identical; jobs
+    /// whose protocol returns `None` still take the exact path.
+    Cohort,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
@@ -168,6 +322,8 @@ pub struct EngineConfig {
     pub expose_aligned_clock: bool,
     /// How live jobs are visited each slot (see [`Scheduling`]).
     pub scheduling: Scheduling,
+    /// How faithfully jobs are simulated (see [`Fidelity`]).
+    pub fidelity: Fidelity,
     /// Probe sinks to attach (see [`crate::probe`]). `None` disables the
     /// probe layer entirely; with `record_trace` also off, the slot loop
     /// does no observability work beyond two branch checks.
@@ -195,6 +351,12 @@ impl EngineConfig {
         self
     }
 
+    /// Enable the cohort binomial fast path (see [`Fidelity::Cohort`]).
+    pub fn cohort(mut self) -> Self {
+        self.fidelity = Fidelity::Cohort;
+        self
+    }
+
     /// Attach probe sinks (see [`crate::probe`]).
     pub fn with_probe(mut self, spec: ProbeSpec) -> Self {
         self.probe = Some(spec);
@@ -202,40 +364,534 @@ impl EngineConfig {
     }
 }
 
-struct JobState {
-    spec: JobSpec,
-    protocol: Box<dyn Protocol>,
-    rng: ChaCha8Rng,
-    outcome: Option<JobOutcome>,
-    accesses: AccessCounts,
+/// Struct-of-arrays job storage, indexed by job id.
+///
+/// Splitting the old per-job struct into parallel vectors keeps the data
+/// the per-slot loop actually touches (specs, outcomes) densely packed, and
+/// lets the borrow checker hand out disjoint mutable borrows of a job's
+/// protocol and RNG without runtime cost.
+#[derive(Default)]
+struct JobTable {
+    specs: Vec<JobSpec>,
+    protocols: Vec<Box<dyn Protocol>>,
+    rngs: Vec<ChaCha8Rng>,
+    outcomes: Vec<Option<JobOutcome>>,
+    accesses: Vec<AccessCounts>,
+}
+
+impl JobTable {
+    fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    fn push(&mut self, spec: JobSpec, protocol: Box<dyn Protocol>, rng: ChaCha8Rng) {
+        self.specs.push(spec);
+        self.protocols.push(protocol);
+        self.rngs.push(rng);
+        self.outcomes.push(None);
+        self.accesses.push(AccessCounts::default());
+    }
+
+    fn clear(&mut self) {
+        self.specs.clear();
+        self.protocols.clear();
+        self.rngs.clear();
+        self.outcomes.clear();
+        self.accesses.clear();
+    }
+}
+
+/// Scratch buffers reused across slots so the hot loop stays allocation-free.
+#[derive(Default)]
+struct SlotScratch {
+    /// Indices (into the job table) of jobs that transmitted, with payloads.
+    transmitters: Vec<(u32, Payload)>,
+    /// Every job given an `act()` call this slot: the active set first
+    /// (mirroring its order), then due duty-group members.
+    polled: Vec<u32>,
+    /// The action each polled job took (`CODE_*`), parallel to `polled`.
+    codes: Vec<u8>,
+    /// The ctx each polled job acted under, parallel to `polled`, so the
+    /// fused feedback pass reuses it instead of rebuilding.
+    ctxs: Vec<JobCtx>,
+    /// Indices (into `DutySet::groups`) of groups with a listen bit at the
+    /// current position, resolved per group after the slot's feedback.
+    listen_groups: Vec<u32>,
+    /// Per-slot cohort draws: `(cohort index, transmitter count)`.
+    cohort_hits: Vec<(u32, u64)>,
+    /// Polled indices in job-id order, for deterministic probe drains.
+    probe_order: Vec<u32>,
+}
+
+impl SlotScratch {
+    fn clear(&mut self) {
+        self.transmitters.clear();
+        self.polled.clear();
+        self.codes.clear();
+        self.ctxs.clear();
+        self.listen_groups.clear();
+        self.cohort_hits.clear();
+        self.probe_order.clear();
+    }
+}
+
+/// Compact [`Action`] tags recorded during the act pass so the fused
+/// feedback/retire/reschedule pass needs no second dispatch.
+const CODE_SLEEP: u8 = 0;
+const CODE_LISTEN: u8 = 1;
+const CODE_TX: u8 = 2;
+
+/// One duty group: every member shares the same [`DutyCycle`] schedule
+/// aligned to the same global phase, so the group is visited (and its
+/// standing transmissions are counted) as a unit.
+struct DutyGroup {
+    period: u8,
+    /// Global round position of pattern position 0:
+    /// `(release + anchor_local) % period`.
+    anchor_mod: u8,
+    wake_mask: u64,
+    tx_mask: u64,
+    listen_mask: u64,
+    payload: Payload,
+    /// Live member job indices; `swap_remove` removal, order arbitrary.
+    members: Vec<u32>,
+}
+
+/// Number of slots in `[from, to)` whose position `(s - anchor_mod) % period`
+/// has its bit set in `mask` — the closed form behind lazy standing-
+/// transmission accounting.
+fn covered_count(from: u64, to: u64, period: u8, anchor_mod: u8, mask: u64) -> u64 {
+    if to <= from || mask == 0 {
+        return 0;
+    }
+    let period = u64::from(period);
+    let len = to - from;
+    let mut n = (len / period) * u64::from(mask.count_ones());
+    let mut pos = (from + period - u64::from(anchor_mod)) % period;
+    for _ in 0..len % period {
+        n += mask >> pos & 1;
+        pos += 1;
+        if pos == period {
+            pos = 0;
+        }
+    }
+    n
+}
+
+/// All duty groups of one run, plus per-job membership bookkeeping.
+#[derive(Default)]
+struct DutySet {
+    groups: Vec<DutyGroup>,
+    /// Total live members across all groups.
+    total: usize,
+    /// Per-job `(group index + 1, position in members)`; group 0 = none.
+    where_of: Vec<(u32, u32)>,
+    /// Per-job: the exact `DutyCycle` value the job registered with, so the
+    /// per-visit re-query is one struct compare (the `key_matches` fallback
+    /// handles equivalent-but-unequal values, e.g. a shifted anchor).
+    reg_dc: Vec<Option<DutyCycle>>,
+    /// Per-job first slot from which standing positions count as
+    /// transmissions (settled lazily at deregistration).
+    reg_slot: Vec<u64>,
+    /// Per-job: a deadline backstop entry exists in the wake queue.
+    backstopped: Vec<bool>,
+    /// Backstop wake-queue entries whose job already left the duty layer.
+    /// Queue entries are not removable, so they are discarded when popped —
+    /// and discounted from live-job accounting until then.
+    dead_backstops: u64,
+}
+
+impl DutySet {
+    /// Reset for a run over `n` jobs, keeping allocations.
+    fn prepare(&mut self, n: usize) {
+        self.groups.clear();
+        self.total = 0;
+        self.where_of.clear();
+        self.where_of.resize(n, (0, 0));
+        self.reg_dc.clear();
+        self.reg_dc.resize(n, None);
+        self.reg_slot.clear();
+        self.reg_slot.resize(n, 0);
+        self.backstopped.clear();
+        self.backstopped.resize(n, false);
+        self.dead_backstops = 0;
+    }
+
+    fn clear(&mut self) {
+        self.groups.clear();
+        self.total = 0;
+        self.where_of.clear();
+        self.reg_dc.clear();
+        self.reg_slot.clear();
+        self.backstopped.clear();
+        self.dead_backstops = 0;
+    }
+
+    fn anchor_mod(dc: &DutyCycle, release: u64) -> u8 {
+        ((release + dc.anchor_local) % u64::from(dc.period)) as u8
+    }
+
+    /// Is `idx` registered under exactly the schedule `dc` resolves to?
+    fn key_matches(&self, idx: usize, dc: &DutyCycle, release: u64) -> bool {
+        let (g1, _) = self.where_of[idx];
+        if g1 == 0 {
+            return false;
+        }
+        let g = &self.groups[g1 as usize - 1];
+        g.period == dc.period
+            && g.wake_mask == dc.wake_mask
+            && g.tx_mask == dc.tx_mask
+            && g.listen_mask == dc.listen_mask
+            && g.payload == dc.tx_payload
+            && g.anchor_mod == Self::anchor_mod(dc, release)
+    }
+
+    /// Enter `idx` into the group for `dc` (creating it if needed).
+    /// Standing accounting starts at the slot after `slot` (the current
+    /// slot was acted normally).
+    fn register(&mut self, idx: usize, dc: &DutyCycle, release: u64, slot: u64) {
+        debug_assert!(dc.period > 0 && dc.period <= 64, "period out of range");
+        debug_assert_eq!(dc.wake_mask & dc.tx_mask, 0, "masks must be disjoint");
+        debug_assert_eq!(
+            (dc.wake_mask | dc.tx_mask) & dc.listen_mask,
+            0,
+            "listen mask must be disjoint from wake and tx masks"
+        );
+        debug_assert!(
+            !dc.tx_payload.is_data(),
+            "standing transmissions cannot carry data"
+        );
+        let anchor_mod = Self::anchor_mod(dc, release);
+        let gi = self
+            .groups
+            .iter()
+            .position(|g| {
+                g.period == dc.period
+                    && g.anchor_mod == anchor_mod
+                    && g.wake_mask == dc.wake_mask
+                    && g.tx_mask == dc.tx_mask
+                    && g.listen_mask == dc.listen_mask
+                    && g.payload == dc.tx_payload
+            })
+            .unwrap_or_else(|| {
+                self.groups.push(DutyGroup {
+                    period: dc.period,
+                    anchor_mod,
+                    wake_mask: dc.wake_mask,
+                    tx_mask: dc.tx_mask,
+                    listen_mask: dc.listen_mask,
+                    payload: dc.tx_payload,
+                    members: Vec::new(),
+                });
+                self.groups.len() - 1
+            });
+        let pos = self.groups[gi].members.len();
+        self.groups[gi].members.push(idx as u32);
+        self.where_of[idx] = (gi as u32 + 1, pos as u32);
+        self.reg_dc[idx] = Some(*dc);
+        self.reg_slot[idx] = slot + 1;
+        self.total += 1;
+    }
+
+    /// Remove `idx` from its group, if registered, returning how many
+    /// standing transmissions and aggregate listens it made in
+    /// `[reg_slot, now)`.
+    fn deregister(&mut self, idx: usize, now: u64) -> Option<(u64, u64)> {
+        let (g1, pos) = self.where_of[idx];
+        if g1 == 0 {
+            return None;
+        }
+        let g = &mut self.groups[g1 as usize - 1];
+        let pos = pos as usize;
+        g.members.swap_remove(pos);
+        if let Some(&moved) = g.members.get(pos) {
+            self.where_of[moved as usize].1 = pos as u32;
+        }
+        self.where_of[idx] = (0, 0);
+        self.reg_dc[idx] = None;
+        self.total -= 1;
+        Some((
+            covered_count(self.reg_slot[idx], now, g.period, g.anchor_mod, g.tx_mask),
+            covered_count(
+                self.reg_slot[idx],
+                now,
+                g.period,
+                g.anchor_mod,
+                g.listen_mask,
+            ),
+        ))
+    }
+
+    /// Earliest slot ≥ `slot` at which any group wakes, transmits, or
+    /// listens.
+    fn next_event(&self, slot: u64) -> u64 {
+        let mut best = u64::MAX;
+        let mut memo = (0u64, 0u64);
+        for g in &self.groups {
+            let bits = g.wake_mask | g.tx_mask | g.listen_mask;
+            if g.members.is_empty() || bits == 0 {
+                continue;
+            }
+            let period = u64::from(g.period);
+            if memo.0 != period {
+                memo = (period, slot % period);
+            }
+            let mut pos = memo.1 + period - u64::from(g.anchor_mod);
+            if pos >= period {
+                pos -= period;
+            }
+            // Distance to the next set bit at or after `pos`, cyclically:
+            // rotate the pattern right by `pos` and count trailing zeros.
+            let rot = if period == 64 {
+                bits.rotate_right(pos as u32)
+            } else {
+                ((bits >> pos) | (bits << (period - pos))) & !(u64::MAX << period)
+            };
+            debug_assert_ne!(rot, 0);
+            best = best.min(slot + u64::from(rot.trailing_zeros()));
+        }
+        best
+    }
+}
+
+/// A cohort's sampling model — also its grouping key, alongside the
+/// deadline.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CohortModel {
+    /// Bernoulli(`p`) per slot; keyed by the exact bit pattern of `p`
+    /// (no epsilon — distinct floats are distinct cohorts).
+    Constant {
+        /// `p.to_bits()`.
+        p_bits: u64,
+    },
+    /// One attempt at a slot uniform over the window (hazard
+    /// `1/(deadline − t)` among not-yet-attempted members).
+    OneShot,
+}
+
+/// One group of cohort-managed jobs: same model, same deadline, simulated
+/// in aggregate under [`Fidelity::Cohort`].
+struct Cohort {
+    model: CohortModel,
+    /// The constant per-slot probability (`Constant` only; 0 otherwise).
+    p: f64,
+    deadline: u64,
+    /// Live member job indices. Members are exchangeable by construction,
+    /// so removal is `swap_remove` and winner selection is a uniform index
+    /// draw.
+    members: Vec<u32>,
+    /// `OneShot` only: `members[..fresh]` have not yet spent their single
+    /// attempt; spent members sit behind `fresh` awaiting their Missed
+    /// outcome at the deadline. (Which *particular* members are spent is
+    /// never decided unless one must be materialized — exchangeability
+    /// makes the prefix split sufficient.)
+    fresh: usize,
+}
+
+/// All cohorts of one run.
+#[derive(Default)]
+struct CohortSet {
+    cohorts: Vec<Cohort>,
+    /// Total live members across all cohorts.
+    total: usize,
+}
+
+impl CohortSet {
+    fn insert(&mut self, profile: CohortTx, deadline: u64, idx: u32) {
+        let (model, p) = match profile {
+            CohortTx::Constant { p } => (
+                CohortModel::Constant {
+                    p_bits: p.to_bits(),
+                },
+                p,
+            ),
+            CohortTx::OneShot => (CohortModel::OneShot, 0.0),
+        };
+        match self
+            .cohorts
+            .iter_mut()
+            .find(|c| c.model == model && c.deadline == deadline)
+        {
+            Some(c) => {
+                c.members.push(idx);
+                if c.model == CohortModel::OneShot {
+                    // Keep the new member inside the fresh prefix.
+                    let last = c.members.len() - 1;
+                    c.members.swap(c.fresh, last);
+                    c.fresh += 1;
+                }
+            }
+            None => self.cohorts.push(Cohort {
+                model,
+                p,
+                deadline,
+                members: vec![idx],
+                fresh: 1,
+            }),
+        }
+        self.total += 1;
+    }
+
+    fn clear(&mut self) {
+        self.cohorts.clear();
+        self.total = 0;
+    }
+}
+
+/// Thread-local pool of cleared engine internals, so Monte-Carlo workers
+/// that build one engine per trial still reuse one set of allocations per
+/// thread. Donation happens in [`Engine::drop`]; [`Engine::new`] drains it.
+mod arena {
+    use super::{CohortSet, DutySet, JobTable, SlotScratch, WakeQueue};
+    use crate::probe::ProbeEvent;
+    use std::cell::{Cell, RefCell};
+
+    /// The reusable allocations of a dead engine, already cleared.
+    #[derive(Default)]
+    pub(super) struct Carcass {
+        pub jobs: JobTable,
+        pub active: Vec<u32>,
+        pub by_release: Vec<u32>,
+        pub parked: WakeQueue,
+        pub scratch: SlotScratch,
+        pub event_scratch: Vec<ProbeEvent>,
+        pub cohorts: CohortSet,
+        pub duty: DutySet,
+    }
+
+    impl Carcass {
+        pub fn clear(&mut self) {
+            self.jobs.clear();
+            self.active.clear();
+            self.by_release.clear();
+            self.parked.clear();
+            self.scratch.clear();
+            self.event_scratch.clear();
+            self.cohorts.clear();
+            self.duty.clear();
+        }
+    }
+
+    thread_local! {
+        static POOL: RefCell<Option<Carcass>> = const { RefCell::new(None) };
+        static REUSES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn take() -> Option<Carcass> {
+        let c = POOL.with(|p| p.borrow_mut().take());
+        if c.is_some() {
+            REUSES.with(|r| r.set(r.get() + 1));
+        }
+        c
+    }
+
+    pub(super) fn stash(c: Carcass) {
+        POOL.with(|p| {
+            let mut slot = p.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(c);
+            }
+        });
+    }
+
+    pub(super) fn reuses() -> u64 {
+        REUSES.with(|r| r.get())
+    }
 }
 
 /// The simulation engine. See the [module docs](self) for the slot loop.
 pub struct Engine {
     config: EngineConfig,
     seeds: SeedSeq,
-    jobs: Vec<JobState>,
     jammer: Jammer,
-}
-
-/// Scratch buffers reused across slots so the hot loop stays allocation-free.
-#[derive(Default)]
-struct SlotScratch {
-    /// Indices (into `jobs`) of jobs that transmitted, with their payloads.
-    transmitters: Vec<(usize, Payload)>,
-    /// Indices of jobs that listened (receive feedback).
-    listeners: Vec<usize>,
+    jobs: JobTable,
+    /// Job indices visited every slot; jobs leave by retirement or parking
+    /// (`swap_remove`, so order is arbitrary — see the module docs).
+    active: Vec<u32>,
+    parked: WakeQueue,
+    /// Job indices sorted by `(release, id)`; a cursor into this drives
+    /// activation.
+    by_release: Vec<u32>,
+    scratch: SlotScratch,
+    event_scratch: Vec<ProbeEvent>,
+    cohorts: CohortSet,
+    /// Duty groups (periodic-schedule jobs; see [`Protocol::duty_cycle`]).
+    duty: DutySet,
+    /// Guards against a second `run` without a `reset` in between.
+    ran: bool,
 }
 
 impl Engine {
-    /// Create an engine with the given configuration and master seed.
+    /// Create an engine with the given configuration and master seed,
+    /// reusing the current thread's pooled allocations if any (see the
+    /// [module docs](self) on the trial arena; behavior is identical either
+    /// way).
     pub fn new(config: EngineConfig, seed: u64) -> Self {
+        let carcass = arena::take().unwrap_or_default();
         Self {
             config,
             seeds: SeedSeq::new(seed),
-            jobs: Vec::new(),
             jammer: Jammer::none(),
+            jobs: carcass.jobs,
+            active: carcass.active,
+            by_release: carcass.by_release,
+            parked: carcass.parked,
+            scratch: carcass.scratch,
+            event_scratch: carcass.event_scratch,
+            cohorts: carcass.cohorts,
+            duty: carcass.duty,
+            ran: false,
         }
+    }
+
+    /// Create an engine with freshly allocated internals, bypassing the
+    /// thread-local pool. Behavior is identical to [`Engine::new`]; this
+    /// exists so benchmarks and tests can measure or pin down the
+    /// no-reuse path explicitly.
+    pub fn fresh(config: EngineConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seeds: SeedSeq::new(seed),
+            jammer: Jammer::none(),
+            jobs: JobTable::default(),
+            active: Vec::new(),
+            by_release: Vec::new(),
+            parked: WakeQueue::new(),
+            scratch: SlotScratch::default(),
+            event_scratch: Vec::new(),
+            cohorts: CohortSet::default(),
+            duty: DutySet::default(),
+            ran: false,
+        }
+    }
+
+    /// Number of times `Engine::new` on this thread reused pooled
+    /// allocations instead of allocating fresh ones (diagnostic).
+    pub fn arena_reuses() -> u64 {
+        arena::reuses()
+    }
+
+    /// Return the engine to its just-constructed state under a new master
+    /// seed, keeping the configuration and every internal allocation.
+    ///
+    /// The reset contract (what bit-identity across reuse requires): all
+    /// job state, the active set, the wake queue including its lifetime
+    /// counters, all per-slot scratch, the cohorts, the jammer (back to
+    /// [`Jammer::none`]; install the trial's adversary after the reset),
+    /// and the seed sequence. Nothing else in the engine carries state
+    /// between runs.
+    pub fn reset(&mut self, seed: u64) {
+        self.seeds = SeedSeq::new(seed);
+        self.jammer = Jammer::none();
+        self.jobs.clear();
+        self.active.clear();
+        self.by_release.clear();
+        self.parked.clear();
+        self.scratch.clear();
+        self.event_scratch.clear();
+        self.cohorts.clear();
+        self.duty.clear();
+        self.ran = false;
     }
 
     /// Install a jamming adversary (default: none).
@@ -252,13 +908,7 @@ impl Engine {
             "jobs must be added in id order"
         );
         let rng = self.seeds.rng(StreamLabel::Job, u64::from(spec.id));
-        self.jobs.push(JobState {
-            spec,
-            protocol,
-            rng,
-            outcome: None,
-            accesses: AccessCounts::default(),
-        });
+        self.jobs.push(spec, protocol, rng);
     }
 
     /// Add every job in `specs`, building each protocol with `factory`.
@@ -278,9 +928,23 @@ impl Engine {
     }
 
     /// Run the simulation to completion and return the report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// Runs once per [`Engine::reset`] (or construction): the jobs are
+    /// consumed by the run, so a second call without a reset panics.
+    pub fn run(&mut self) -> SimReport {
+        assert!(
+            !self.ran,
+            "Engine::run called twice; call Engine::reset between runs"
+        );
+        self.ran = true;
         let started = std::time::Instant::now();
-        let horizon = self.jobs.iter().map(|j| j.spec.deadline).max().unwrap_or(0);
+        let horizon = self
+            .jobs
+            .specs
+            .iter()
+            .map(|s| s.deadline)
+            .max()
+            .unwrap_or(0);
         // Running past the last deadline is pointless (all jobs retired), so
         // the horizon caps the configured limit rather than the reverse.
         let max_slots = match self.config.max_slots {
@@ -288,23 +952,26 @@ impl Engine {
             None => horizon,
         };
 
-        // Activation order: job indices sorted by release slot.
-        let mut by_release: Vec<usize> = (0..self.jobs.len()).collect();
-        by_release.sort_by_key(|&i| (self.jobs[i].spec.release, self.jobs[i].spec.id));
+        // Activation order: job indices sorted by release slot (id breaks
+        // ties, and ids equal indices, so the unstable sort is total).
+        self.by_release.clear();
+        self.by_release.extend(0..self.jobs.len() as u32);
+        let specs = &self.jobs.specs;
+        self.by_release
+            .sort_unstable_by_key(|&i| (specs[i as usize].release, i));
         let mut next_pending = 0usize;
 
-        // `polled` holds live jobs visited every slot; `parked` holds live
-        // jobs waiting for their wake slot (event-driven scheduling only).
-        let mut polled: Vec<usize> = Vec::with_capacity(self.jobs.len());
-        let mut parked = WakeQueue::new();
+        self.active.clear();
+        self.scratch.clear();
         let event_driven = self.config.scheduling == Scheduling::EventDriven;
+        let cohort_mode = self.config.fidelity == Fidelity::Cohort;
+        let aligned_clock = self.config.expose_aligned_clock;
         // An adversary that can strike silent slots draws randomness every
         // slot, so all-parked stretches cannot be skipped without
         // desynchronizing (and silencing) it; such slots run one by one.
         // This keys off the `Adversary` trait's declaration, not any
         // concrete policy, so new idle-striking adversaries gate correctly.
         let jammer_strikes_idle = self.jammer.strikes_idle();
-        let mut scratch = SlotScratch::default();
         let mut counts = SlotCounts::default();
         // All observability flows through the probe bus. The legacy
         // `record_trace` flag is a `VecSink` attached first, so its output
@@ -320,14 +987,25 @@ impl Engine {
         }
         let wants_slots = bus.wants_slots();
         let probed = bus.wants_events();
-        let mut event_scratch: Vec<ProbeEvent> = Vec::new();
         let mut sched_stats = SchedStats::default();
         let mut jam_rng = self.seeds.rng(StreamLabel::Jammer, 0);
+        // Cohort draws come from their own stream so the exact path's
+        // per-job streams stay untouched by the mode switch.
+        let mut cohort_rng = cohort_mode.then(|| self.seeds.rng(StreamLabel::Cohort, 0));
+
+        // Per-job duty bookkeeping arrays (empty groups; sized to the run).
+        self.duty.prepare(self.jobs.len());
 
         let mut slot: u64 = 0;
         while slot < max_slots {
             // Nothing live and nothing pending: the channel is idle forever.
-            if polled.is_empty() && parked.is_empty() && next_pending == by_release.len() {
+            // Wake-queue entries that are stale duty backstops (their job
+            // already retired) don't count as live.
+            if self.active.is_empty()
+                && self.parked.len() as u64 == self.duty.dead_backstops
+                && self.cohorts.total == 0
+                && next_pending == self.by_release.len()
+            {
                 break;
             }
             // Fast-forward through stretches where no job needs polling:
@@ -335,14 +1013,24 @@ impl Engine {
             // live job is parked. The skipped slots really are silent, so
             // they stay accounted (and traced, when tracing, as a single
             // run-length record): `counts.total()` always equals the number
-            // of slots the run covered.
-            if polled.is_empty() && (parked.is_empty() || !jammer_strikes_idle) {
+            // of slots the run covered. Cohorts block the skip: a live
+            // cohort draws randomness (and can transmit) every slot.
+            if self.active.is_empty()
+                && self.cohorts.total == 0
+                && (self.parked.len() as u64 == self.duty.dead_backstops || !jammer_strikes_idle)
+            {
                 let mut next_event = u64::MAX;
-                if next_pending < by_release.len() {
-                    next_event = self.jobs[by_release[next_pending]].spec.release;
+                if next_pending < self.by_release.len() {
+                    next_event = self.jobs.specs[self.by_release[next_pending] as usize].release;
                 }
-                if let Some(wake) = parked.next_wake() {
+                if let Some(wake) = self.parked.next_wake() {
                     next_event = next_event.min(wake);
+                }
+                if self.duty.total > 0 {
+                    // Duty groups break the gap at their next wake or
+                    // standing-transmission slot (which may be `slot`
+                    // itself, suppressing the skip).
+                    next_event = next_event.min(self.duty.next_event(slot));
                 }
                 if next_event > slot {
                     let until = next_event.min(max_slots);
@@ -361,7 +1049,7 @@ impl Engine {
                             } else {
                                 SlotOutcome::SilentGap { len: gap }
                             },
-                            live_jobs: parked.len() as u32,
+                            live_jobs: (self.parked.len() as u64 - self.duty.dead_backstops) as u32,
                             declared_contention: 0.0,
                             payload: None,
                         });
@@ -376,7 +1064,7 @@ impl Engine {
                             slot,
                             job: None,
                             event: ProbeEvent::WakeQueueStats {
-                                parked: parked.len() as u32,
+                                parked: self.parked.len() as u32,
                             },
                         });
                     }
@@ -387,34 +1075,124 @@ impl Engine {
                 }
             }
 
-            // 0. Wake parked jobs whose slot arrived.
-            parked.pop_due(slot, &mut polled);
-
-            // 1. Activate arrivals.
-            while next_pending < by_release.len()
-                && self.jobs[by_release[next_pending]].spec.release == slot
-            {
-                let idx = by_release[next_pending];
-                next_pending += 1;
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
-                let job = &mut self.jobs[idx];
-                job.protocol.on_activate(&ctx, &mut job.rng);
-                polled.push(idx);
+            // 0. Wake parked jobs whose slot arrived. Entries for jobs in
+            // the duty layer are deadline backstops: a live member leaves
+            // the layer here (settling its standing-transmission count) and
+            // runs its final stretch as a plain active job; a member that
+            // retired early left a stale entry, discarded on arrival.
+            let first_woken = self.active.len();
+            self.parked.pop_due(slot, &mut self.active);
+            if event_driven && (self.duty.total > 0 || self.duty.dead_backstops > 0) {
+                let mut i = first_woken;
+                while i < self.active.len() {
+                    let idx = self.active[i] as usize;
+                    if self.jobs.outcomes[idx].is_some() {
+                        self.duty.dead_backstops -= 1;
+                        self.active.swap_remove(i);
+                        continue;
+                    }
+                    if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                        self.jobs.accesses[idx].transmissions += tx;
+                        self.jobs.accesses[idx].listens += li;
+                    }
+                    i += 1;
+                }
             }
 
-            // 2. Collect actions. `tx_probability` is purely diagnostic, so
-            // its virtual call (and the contention sum) is skipped entirely
-            // when no trace records it.
-            scratch.transmitters.clear();
-            scratch.listeners.clear();
+            // 1. Activate arrivals.
+            while next_pending < self.by_release.len()
+                && self.jobs.specs[self.by_release[next_pending] as usize].release == slot
+            {
+                let idx = self.by_release[next_pending];
+                next_pending += 1;
+                let spec = self.jobs.specs[idx as usize];
+                let ctx = JobCtx {
+                    id: spec.id,
+                    window: spec.window(),
+                    local_time: 0,
+                    aligned_time: aligned_clock.then_some(slot),
+                    probed,
+                };
+                if cohort_mode {
+                    if let Some(profile) = self.jobs.protocols[idx as usize].cohort_tx(&ctx) {
+                        // Aggregate-managed: never polled, never called back.
+                        self.cohorts.insert(profile, spec.deadline, idx);
+                        continue;
+                    }
+                }
+                self.jobs.protocols[idx as usize]
+                    .on_activate(&ctx, &mut self.jobs.rngs[idx as usize]);
+                self.active.push(idx);
+            }
+
+            // 2. Collect actions. The polled set is the active set (in
+            // order) plus the members of every duty group with a wake bit
+            // at this slot's position; duty groups with a *tx* bit here
+            // contribute standing transmissions in aggregate instead —
+            // per-member counters are settled lazily at deregistration.
+            // `tx_probability` is purely diagnostic, so its virtual call
+            // (and the contention sum) is skipped when no trace records it.
+            self.scratch.transmitters.clear();
+            self.scratch.polled.clear();
+            self.scratch.codes.clear();
+            self.scratch.ctxs.clear();
+            self.scratch.listen_groups.clear();
+            self.scratch.polled.extend_from_slice(&self.active);
             let recording = wants_slots;
             let mut declared_contention = 0.0f64;
-            for &idx in &polled {
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
-                let job = &mut self.jobs[idx];
-                let action = job.protocol.act(&ctx, &mut job.rng);
+            let mut standing_n: u64 = 0;
+            let mut standing_single: Option<(u32, Payload)> = None;
+            if event_driven && self.duty.total > 0 {
+                // Groups usually share one period: memoize `slot % period`
+                // so the scan performs a single division per slot.
+                let mut memo = (0u64, 0u64);
+                for (gi, g) in self.duty.groups.iter().enumerate() {
+                    if g.members.is_empty() {
+                        continue;
+                    }
+                    let period = u64::from(g.period);
+                    if memo.0 != period {
+                        memo = (period, slot % period);
+                    }
+                    let mut pos = memo.1 + period - u64::from(g.anchor_mod);
+                    if pos >= period {
+                        pos -= period;
+                    }
+                    if g.wake_mask >> pos & 1 != 0 {
+                        self.scratch.polled.extend_from_slice(&g.members);
+                    }
+                    if g.listen_mask >> pos & 1 != 0 {
+                        self.scratch.listen_groups.push(gi as u32);
+                    }
+                    if g.tx_mask >> pos & 1 != 0 {
+                        standing_n += g.members.len() as u64;
+                        standing_single = if standing_n == 1 {
+                            Some((g.members[0], g.payload))
+                        } else {
+                            None
+                        };
+                        if recording {
+                            // Standing slots transmit with probability 1.
+                            declared_contention += g.members.len() as f64;
+                        }
+                    }
+                }
+            }
+            let visited_start = self.active.len();
+            for k in 0..self.scratch.polled.len() {
+                let idx = self.scratch.polled[k] as usize;
+                let spec = self.jobs.specs[idx];
+                let ctx = JobCtx {
+                    id: spec.id,
+                    window: spec.window(),
+                    local_time: slot - spec.release,
+                    aligned_time: aligned_clock.then_some(slot),
+                    probed,
+                };
+                self.scratch.ctxs.push(ctx);
+                let action = self.jobs.protocols[idx].act(&ctx, &mut self.jobs.rngs[idx]);
                 let declared = if recording {
-                    job.protocol.tx_probability(&ctx)
+                    self.jobs.protocols[idx].tx_probability(&ctx)
                 } else {
                     None
                 };
@@ -423,39 +1201,133 @@ impl Engine {
                         if recording {
                             declared_contention += declared.unwrap_or(1.0);
                         }
-                        job.accesses.transmissions += 1;
-                        scratch.transmitters.push((idx, payload));
+                        self.jobs.accesses[idx].transmissions += 1;
+                        self.scratch.transmitters.push((idx as u32, payload));
                         // Transmitters also observe the slot (they learn
                         // whether their own broadcast succeeded).
-                        scratch.listeners.push(idx);
+                        self.scratch.codes.push(CODE_TX);
                     }
                     Action::Listen => {
                         if recording {
                             declared_contention += declared.unwrap_or(0.0);
                         }
-                        job.accesses.listens += 1;
-                        scratch.listeners.push(idx);
+                        self.jobs.accesses[idx].listens += 1;
+                        self.scratch.codes.push(CODE_LISTEN);
                     }
                     Action::Sleep => {
                         if recording {
                             declared_contention += declared.unwrap_or(0.0);
                         }
+                        self.scratch.codes.push(CODE_SLEEP);
+                    }
+                }
+            }
+
+            // 2b. Cohort draws: one binomial per cohort decides how many
+            // members transmit this slot; individuals stay anonymous unless
+            // the slot resolves to a single transmission.
+            self.scratch.cohort_hits.clear();
+            let mut cohort_tx: u64 = 0;
+            if let Some(rng) = cohort_rng.as_mut() {
+                for (c_idx, cohort) in self.cohorts.cohorts.iter().enumerate() {
+                    let (m, p) = match cohort.model {
+                        CohortModel::Constant { .. } => (cohort.members.len() as u64, cohort.p),
+                        // One-shot hazard among not-yet-attempted members;
+                        // live cohorts always have slot < deadline, and at
+                        // deadline − 1 the hazard reaches 1 (everyone left
+                        // must attempt now or never).
+                        CohortModel::OneShot => {
+                            (cohort.fresh as u64, 1.0 / (cohort.deadline - slot) as f64)
+                        }
+                    };
+                    let t = sample_binomial(m, p, rng);
+                    if t > 0 {
+                        self.scratch.cohort_hits.push((c_idx as u32, t));
+                        cohort_tx += t;
+                    }
+                    if recording {
+                        declared_contention += m as f64 * p;
                     }
                 }
             }
 
             // 3. Resolve the channel and give the adversary its shot.
-            let n_tx = scratch.transmitters.len();
+            let n_tx = self.scratch.transmitters.len() + cohort_tx as usize + standing_n as usize;
+            // A lone cohort transmission materializes one member: position
+            // in its cohort's member list, chosen uniformly (members are
+            // exchangeable).
+            let mut cohort_winner: Option<(usize, usize)> = None;
             let view = match n_tx {
                 0 => SlotView::Silent,
                 1 => {
-                    let (idx, payload) = scratch.transmitters[0];
-                    SlotView::Single {
-                        src: self.jobs[idx].spec.id,
-                        payload,
+                    if let Some(&(idx, payload)) = self.scratch.transmitters.first() {
+                        SlotView::Single {
+                            src: self.jobs.specs[idx as usize].id,
+                            payload,
+                        }
+                    } else if let Some((member, payload)) = standing_single {
+                        // The slot's only transmission is one job's standing
+                        // duty broadcast (its transmission counter is covered
+                        // by the lazy per-member accounting).
+                        SlotView::Single {
+                            src: self.jobs.specs[member as usize].id,
+                            payload,
+                        }
+                    } else {
+                        let (c_idx, _) = self.scratch.cohort_hits[0];
+                        let cohort = &self.cohorts.cohorts[c_idx as usize];
+                        let rng = cohort_rng.as_mut().expect("cohort hit implies cohort mode");
+                        // One-shot attempts come from the fresh prefix only.
+                        let pool = match cohort.model {
+                            CohortModel::Constant { .. } => cohort.members.len(),
+                            CohortModel::OneShot => cohort.fresh,
+                        };
+                        let pos = rng.gen_range(0..pool);
+                        let member = cohort.members[pos] as usize;
+                        self.jobs.accesses[member].transmissions += 1;
+                        cohort_winner = Some((c_idx as usize, pos));
+                        SlotView::Single {
+                            src: self.jobs.specs[member].id,
+                            payload: Payload::Data(self.jobs.specs[member].id),
+                        }
                     }
                 }
-                _ => SlotView::Collision { n_tx },
+                _ => {
+                    // Collision: charge each hit cohort's transmission count
+                    // to distinct members (partial Fisher–Yates; order in
+                    // the member list is meaningless).
+                    if let Some(rng) = cohort_rng.as_mut() {
+                        for &(c_idx, t) in &self.scratch.cohort_hits {
+                            let cohort = &mut self.cohorts.cohorts[c_idx as usize];
+                            match cohort.model {
+                                CohortModel::Constant { .. } => {
+                                    let members = &mut cohort.members;
+                                    let t = (t as usize).min(members.len());
+                                    for i in 0..t {
+                                        let j = rng.gen_range(i..members.len());
+                                        members.swap(i, j);
+                                        self.jobs.accesses[members[i] as usize].transmissions += 1;
+                                    }
+                                }
+                                CohortModel::OneShot => {
+                                    // Draw the attempters from the fresh
+                                    // prefix, parking each at its end so the
+                                    // prefix shrinks over the spent ones.
+                                    let t = (t as usize).min(cohort.fresh);
+                                    for i in 0..t {
+                                        let lim = cohort.fresh - i;
+                                        let j = rng.gen_range(0..lim);
+                                        cohort.members.swap(j, lim - 1);
+                                        self.jobs.accesses[cohort.members[lim - 1] as usize]
+                                            .transmissions += 1;
+                                    }
+                                    cohort.fresh -= t;
+                                }
+                            }
+                        }
+                    }
+                    SlotView::Collision { n_tx }
+                }
             };
             let jammed = self.jammer.jams(view, &mut jam_rng);
 
@@ -476,10 +1348,14 @@ impl Engine {
                 (false, 0) => counts.silent += 1,
                 (false, 1) => {
                     counts.success += 1;
-                    let (_, payload) = scratch.transmitters[0];
-                    if let Some(owner) = payload.data_owner() {
-                        counts.data_success += 1;
-                        delivered_data = Some(owner);
+                    if let SlotView::Single { src, payload } = view {
+                        if payload.data_owner() == Some(src) || cohort_winner.is_some() {
+                            counts.data_success += 1;
+                            delivered_data = Some(src);
+                        } else if let Some(owner) = payload.data_owner() {
+                            counts.data_success += 1;
+                            delivered_data = Some(owner);
+                        }
                     }
                 }
                 (false, _) => counts.collision += 1,
@@ -503,32 +1379,305 @@ impl Engine {
                 bus.on_slot(&SlotRecord {
                     slot,
                     outcome,
-                    live_jobs: (polled.len() + parked.len()) as u32,
+                    // Duty members are counted through their deadline
+                    // backstops in the wake queue (exactly one per member);
+                    // stale backstops of retired members are discounted.
+                    live_jobs: (self.active.len() + self.parked.len() + self.cohorts.total) as u32
+                        - self.duty.dead_backstops as u32,
                     declared_contention,
                     payload: feedback.payload().copied(),
                 });
             }
 
-            // 5. Deliver feedback to listeners.
-            for &idx in &scratch.listeners {
-                let ctx = Self::ctx_of(&self.config, &self.jobs[idx].spec, slot, probed);
-                let job = &mut self.jobs[idx];
-                job.protocol.on_feedback(&ctx, &feedback, &mut job.rng);
+            // 5. Record delivery, then run the fused feedback / retirement /
+            // rescheduling pass: one ctx build per polled job instead of
+            // three. Feedback lands in polled order, which is exactly the
+            // old listener order.
+            if let Some(owner) = delivered_data {
+                // First delivery inside the window wins; protocols built in
+                // this workspace never transmit data outside their window
+                // (the engine retires them at the deadline), so `slot` is
+                // necessarily inside it.
+                let outcome = &mut self.jobs.outcomes[owner as usize];
+                if outcome.is_none() {
+                    *outcome = Some(JobOutcome::Success { slot });
+                }
+                // A delivered cohort member leaves its cohort immediately.
+                if let Some((c_idx, pos)) = cohort_winner {
+                    let cohort = &mut self.cohorts.cohorts[c_idx];
+                    match cohort.model {
+                        CohortModel::Constant { .. } => {
+                            cohort.members.swap_remove(pos);
+                        }
+                        CohortModel::OneShot => {
+                            // Remove without pulling a spent member into
+                            // the fresh prefix: retire via its end.
+                            cohort.members.swap(pos, cohort.fresh - 1);
+                            cohort.members.swap_remove(cohort.fresh - 1);
+                            cohort.fresh -= 1;
+                        }
+                    }
+                    self.cohorts.total -= 1;
+                }
+            } else if let Some((c_idx, pos)) = cohort_winner {
+                // The lone cohort transmission was jammed. A memoryless
+                // member just retries; a one-shot member has spent its
+                // attempt and moves behind the fresh prefix.
+                let cohort = &mut self.cohorts.cohorts[c_idx];
+                if cohort.model == CohortModel::OneShot {
+                    cohort.members.swap(pos, cohort.fresh - 1);
+                    cohort.fresh -= 1;
+                }
+            }
+            // Active part: `polled[..visited_start]` mirrors `active`, and
+            // removals keep `codes` aligned by mirroring the swap.
+            let mut k = 0;
+            while k < self.active.len() {
+                let idx = self.active[k] as usize;
+                let code = self.scratch.codes[k];
+                let spec = self.jobs.specs[idx];
+                let ctx = self.scratch.ctxs[k];
+                if code != CODE_SLEEP {
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                }
+                let window_over = slot + 1 >= spec.deadline;
+                let finished = self.jobs.outcomes[idx].is_some()
+                    || self.jobs.protocols[idx].is_done()
+                    || window_over;
+                if finished {
+                    if self.jobs.outcomes[idx].is_none() {
+                        self.jobs.outcomes[idx] = Some(JobOutcome::Missed);
+                    }
+                    let last = self.active.len() - 1;
+                    self.active.swap_remove(k);
+                    self.scratch.codes.swap(k, last);
+                    self.scratch.ctxs.swap(k, last);
+                    continue;
+                }
+                if event_driven {
+                    if let Some(dc) = self.jobs.protocols[idx].duty_cycle(&ctx) {
+                        self.duty.register(idx, &dc, spec.release, slot);
+                        if !self.duty.backstopped[idx] {
+                            self.duty.backstopped[idx] = true;
+                            // One wake-queue entry per job for its whole
+                            // duty-layer life: a deadline backstop that both
+                            // retires it on time and keeps it in live-job
+                            // accounting.
+                            self.parked.push(spec.deadline - 1, idx as u32);
+                        }
+                        let last = self.active.len() - 1;
+                        self.active.swap_remove(k);
+                        self.scratch.codes.swap(k, last);
+                        self.scratch.ctxs.swap(k, last);
+                        continue;
+                    }
+                    if let Some(wake_local) = self.jobs.protocols[idx].next_wake(&ctx) {
+                        // Clamp into the window so the job is awake for its
+                        // last slot and retires through the normal deadline
+                        // check, exactly as under dense polling.
+                        let wake = spec
+                            .release
+                            .saturating_add(wake_local)
+                            .min(spec.deadline - 1);
+                        if wake > slot + 1 {
+                            self.parked.push(wake, idx as u32);
+                            let last = self.active.len() - 1;
+                            self.active.swap_remove(k);
+                            self.scratch.codes.swap(k, last);
+                            self.scratch.ctxs.swap(k, last);
+                            continue;
+                        }
+                    }
+                }
+                k += 1;
+            }
+            // Visited duty members: feedback, retirement (their backstop
+            // stays behind in the wake queue), and schedule re-query — a
+            // state change moves the member between groups.
+            for v in visited_start..self.scratch.polled.len() {
+                let idx = self.scratch.polled[v] as usize;
+                let code = self.scratch.codes[v];
+                let spec = self.jobs.specs[idx];
+                let ctx = self.scratch.ctxs[v];
+                if code != CODE_SLEEP {
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                }
+                if self.jobs.outcomes[idx].is_some() || slot + 1 >= spec.deadline {
+                    if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                        self.jobs.accesses[idx].transmissions += tx;
+                        self.jobs.accesses[idx].listens += li;
+                    }
+                    self.duty.dead_backstops += 1;
+                    if self.jobs.outcomes[idx].is_none() {
+                        self.jobs.outcomes[idx] = Some(JobOutcome::Missed);
+                    }
+                    continue;
+                }
+                match self.jobs.protocols[idx].duty_cycle(&ctx) {
+                    // Unchanged schedule (the overwhelmingly common case):
+                    // one struct compare, no division.
+                    Some(dc) if self.duty.reg_dc[idx] == Some(dc) => {}
+                    Some(dc) if self.duty.key_matches(idx, &dc, spec.release) => {
+                        self.duty.reg_dc[idx] = Some(dc);
+                    }
+                    Some(dc) => {
+                        if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                            self.jobs.accesses[idx].transmissions += tx;
+                            self.jobs.accesses[idx].listens += li;
+                        }
+                        self.duty.register(idx, &dc, spec.release, slot);
+                    }
+                    None => {
+                        // Contract: `None` from a registered job signals
+                        // completion — retire it here, sparing a separate
+                        // `is_done` virtual call on the hot path.
+                        if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                            self.jobs.accesses[idx].transmissions += tx;
+                            self.jobs.accesses[idx].listens += li;
+                        }
+                        self.duty.dead_backstops += 1;
+                        if self.jobs.outcomes[idx].is_none() {
+                            self.jobs.outcomes[idx] = Some(JobOutcome::Missed);
+                        }
+                    }
+                }
+            }
+
+            // Listen groups: one representative decides whether this slot's
+            // feedback is group-invariant. If it is, nothing happens per
+            // member (their listen counters are settled lazily, in closed
+            // form, at deregistration); if not, every member observes the
+            // feedback individually — the always-correct fallback. A slot
+            // that delivered a member's own data forces the fallback so
+            // `duty_listen` implementations never reason about delivery.
+            for li in 0..self.scratch.listen_groups.len() {
+                let gi = self.scratch.listen_groups[li] as usize;
+                if self.duty.groups[gi].members.is_empty() {
+                    continue;
+                }
+                let mut forced = false;
+                if let Feedback::Success { src, payload } = &feedback {
+                    if payload.is_data() {
+                        let owner = payload.data_owner().unwrap_or(*src) as usize;
+                        if let Some(&(g1, p)) = self.duty.where_of.get(owner) {
+                            forced = g1 as usize == gi + 1
+                                && self.duty.groups[gi].members.get(p as usize)
+                                    == Some(&(owner as u32));
+                        }
+                    }
+                }
+                // Members registered during this slot's feedback passes
+                // (`reg_slot == slot + 1`) already observed the slot on the
+                // path that brought them here: they are skipped below and
+                // cannot represent the group.
+                if !forced {
+                    let Some(&rep) = self.duty.groups[gi]
+                        .members
+                        .iter()
+                        .find(|&&m| self.duty.reg_slot[m as usize] <= slot)
+                    else {
+                        continue;
+                    };
+                    let rep = rep as usize;
+                    let spec = self.jobs.specs[rep];
+                    let ctx = JobCtx {
+                        id: spec.id,
+                        window: spec.window(),
+                        local_time: slot - spec.release,
+                        aligned_time: aligned_clock.then_some(slot),
+                        probed,
+                    };
+                    if self.jobs.protocols[rep].duty_listen(&ctx, &feedback) {
+                        continue;
+                    }
+                }
+                let mut m = 0;
+                while m < self.duty.groups[gi].members.len() {
+                    let idx = self.duty.groups[gi].members[m] as usize;
+                    if self.duty.reg_slot[idx] > slot {
+                        m += 1;
+                        continue;
+                    }
+                    let spec = self.jobs.specs[idx];
+                    let ctx = JobCtx {
+                        id: spec.id,
+                        window: spec.window(),
+                        local_time: slot - spec.release,
+                        aligned_time: aligned_clock.then_some(slot),
+                        probed,
+                    };
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                    if probed {
+                        // The drain pass walks the polled snapshot; fanned-
+                        // out listeners may have emitted events too.
+                        self.scratch.polled.push(idx as u32);
+                    }
+                    if self.jobs.outcomes[idx].is_some() || slot + 1 >= spec.deadline {
+                        // The lazy settle covers `[reg_slot, slot)`; the
+                        // fan-out slot itself was attended, so count it.
+                        if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                            self.jobs.accesses[idx].transmissions += tx;
+                            self.jobs.accesses[idx].listens += li + 1;
+                        }
+                        self.duty.dead_backstops += 1;
+                        if self.jobs.outcomes[idx].is_none() {
+                            self.jobs.outcomes[idx] = Some(JobOutcome::Missed);
+                        }
+                        continue;
+                    }
+                    match self.jobs.protocols[idx].duty_cycle(&ctx) {
+                        Some(dc) if self.duty.reg_dc[idx] == Some(dc) => m += 1,
+                        Some(dc) if self.duty.key_matches(idx, &dc, spec.release) => {
+                            self.duty.reg_dc[idx] = Some(dc);
+                            m += 1;
+                        }
+                        Some(dc) => {
+                            if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                                self.jobs.accesses[idx].transmissions += tx;
+                                self.jobs.accesses[idx].listens += li + 1;
+                            }
+                            self.duty.register(idx, &dc, spec.release, slot);
+                            // `swap_remove` filled slot `m` with another
+                            // member: revisit the same index.
+                        }
+                        None => {
+                            // Completion signal (see `duty_cycle` contract).
+                            if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                                self.jobs.accesses[idx].transmissions += tx;
+                                self.jobs.accesses[idx].listens += li + 1;
+                            }
+                            self.duty.dead_backstops += 1;
+                            if self.jobs.outcomes[idx].is_none() {
+                                self.jobs.outcomes[idx] = Some(JobOutcome::Missed);
+                            }
+                        }
+                    }
+                }
             }
 
             // 5b. Drain protocol-emitted probe events, stamping slot/job and
             // enriching `SizeEstimate` with ground truth (the engine is the
-            // only component entitled to a global view).
+            // only component entitled to a global view). Drained in job-id
+            // order so the bus stream is independent of active-set order
+            // (parked jobs never hold pending events — they emit only from
+            // slots they attend; the polled snapshot still includes jobs
+            // that just retired or parked, whose final events must flush).
             if probed {
-                for &idx in &polled {
-                    self.jobs[idx].protocol.drain_events(&mut event_scratch);
-                    if event_scratch.is_empty() {
+                self.scratch.probe_order.clear();
+                self.scratch
+                    .probe_order
+                    .extend_from_slice(&self.scratch.polled);
+                self.scratch.probe_order.sort_unstable();
+                for k in 0..self.scratch.probe_order.len() {
+                    let idx = self.scratch.probe_order[k] as usize;
+                    self.jobs.protocols[idx].drain_events(&mut self.event_scratch);
+                    if self.event_scratch.is_empty() {
                         continue;
                     }
-                    let id = self.jobs[idx].spec.id;
-                    for mut event in event_scratch.drain(..) {
+                    let id = self.jobs.specs[idx].id;
+                    for mut event in self.event_scratch.drain(..) {
                         if let ProbeEvent::SizeEstimate { class, n_true, .. } = &mut event {
-                            *n_true = Self::live_class_size(&self.jobs, *class, slot);
+                            *n_true = Self::live_class_size(&self.jobs.specs, *class, slot);
                         }
                         bus.on_event(&ProbeRecord {
                             slot,
@@ -538,54 +1687,40 @@ impl Engine {
                     }
                 }
             }
-
-            // 6. Record delivery and retire finished jobs.
-            if let Some(owner) = delivered_data {
-                let job = &mut self.jobs[owner as usize];
-                // First delivery inside the window wins; protocols built in
-                // this workspace never transmit data outside their window
-                // (the engine retires them at the deadline), so `slot` is
-                // necessarily inside it.
-                if job.outcome.is_none() {
-                    job.outcome = Some(JobOutcome::Success { slot });
+            // Cohorts whose deadline arrived (or that emptied) dissolve;
+            // remaining members' outcomes default to Missed at the end.
+            if cohort_mode {
+                let mut c = 0;
+                while c < self.cohorts.cohorts.len() {
+                    let cohort = &self.cohorts.cohorts[c];
+                    if slot + 1 >= cohort.deadline || cohort.members.is_empty() {
+                        self.cohorts.total -= self.cohorts.cohorts[c].members.len();
+                        self.cohorts.cohorts.swap_remove(c);
+                        continue;
+                    }
+                    c += 1;
                 }
             }
-            polled.retain(|&idx| {
-                let job = &mut self.jobs[idx];
-                let window_over = slot + 1 >= job.spec.deadline;
-                let finished = job.outcome.is_some() || job.protocol.is_done() || window_over;
-                if finished {
-                    if job.outcome.is_none() {
-                        job.outcome = Some(JobOutcome::Missed);
-                    }
-                    return false;
-                }
-                if event_driven {
-                    let ctx = Self::ctx_of(&self.config, &job.spec, slot, probed);
-                    if let Some(wake_local) = job.protocol.next_wake(&ctx) {
-                        // Clamp into the window so the job is awake for its
-                        // last slot and retires through the normal deadline
-                        // check, exactly as under dense polling.
-                        let wake = job
-                            .spec
-                            .release
-                            .saturating_add(wake_local)
-                            .min(job.spec.deadline - 1);
-                        if wake > slot + 1 {
-                            parked.push(wake, idx);
-                            return false;
-                        }
-                    }
-                }
-                true
-            });
 
             slot += 1;
         }
 
+        // Jobs still in the duty layer when the loop ended (the slot cap
+        // arrived before their deadline backstop fired): settle the standing
+        // transmissions and aggregate listens they made before the cap,
+        // exactly as dense polling would have counted them.
+        if self.duty.total > 0 {
+            for idx in 0..self.jobs.len() {
+                if let Some((tx, li)) = self.duty.deregister(idx, slot) {
+                    self.jobs.accesses[idx].transmissions += tx;
+                    self.jobs.accesses[idx].listens += li;
+                }
+            }
+        }
+
         // Anything still pending or live when the horizon hit missed.
-        for job in &mut self.jobs {
-            job.outcome.get_or_insert(JobOutcome::Missed);
+        for outcome in &mut self.jobs.outcomes {
+            outcome.get_or_insert(JobOutcome::Missed);
         }
 
         // Retirement events, in job-id order. Outcomes and access counters
@@ -593,28 +1728,29 @@ impl Engine {
         // suite's invariant), so this stream is identical across scheduling
         // modes despite being assembled after the loop.
         if probed {
-            for job in &self.jobs {
-                let outcome = job.outcome.expect("outcome just defaulted");
+            for idx in 0..self.jobs.len() {
+                let spec = self.jobs.specs[idx];
+                let outcome = self.jobs.outcomes[idx].expect("outcome just defaulted");
                 let end = match outcome {
                     JobOutcome::Success { slot } => slot,
-                    JobOutcome::Missed => job.spec.deadline.min(slot).max(job.spec.release),
+                    JobOutcome::Missed => spec.deadline.min(slot).max(spec.release),
                 };
                 bus.on_event(&ProbeRecord {
                     slot: end,
-                    job: Some(job.spec.id),
+                    job: Some(spec.id),
                     event: ProbeEvent::JobRetired {
                         success: outcome.is_success(),
-                        latency: end - job.spec.release,
-                        window: job.spec.window(),
-                        transmissions: job.accesses.transmissions,
-                        listens: job.accesses.listens,
+                        latency: end - spec.release,
+                        window: spec.window(),
+                        transmissions: self.jobs.accesses[idx].transmissions,
+                        listens: self.jobs.accesses[idx].listens,
                     },
                 });
             }
         }
 
-        sched_stats.parks = parked.pushes();
-        sched_stats.peak_parked = parked.peak() as u64;
+        sched_stats.parks = self.parked.pushes();
+        sched_stats.peak_parked = self.parked.peak() as u64;
 
         let mut outputs = bus.finish();
         let trace = if self.config.record_trace {
@@ -631,9 +1767,9 @@ impl Engine {
             None
         };
 
-        let specs: Vec<JobSpec> = self.jobs.iter().map(|j| j.spec).collect();
-        let outcomes: Vec<JobOutcome> = self.jobs.iter().map(|j| j.outcome.unwrap()).collect();
-        let accesses: Vec<AccessCounts> = self.jobs.iter().map(|j| j.accesses).collect();
+        let specs: Vec<JobSpec> = self.jobs.specs.clone();
+        let outcomes: Vec<JobOutcome> = self.jobs.outcomes.iter().map(|o| o.unwrap()).collect();
+        let accesses: Vec<AccessCounts> = self.jobs.accesses.clone();
         SimReport::new(
             specs,
             outcomes,
@@ -652,27 +1788,35 @@ impl Engine {
         )
     }
 
-    #[inline]
-    fn ctx_of(config: &EngineConfig, spec: &JobSpec, slot: u64, probed: bool) -> JobCtx {
-        JobCtx {
-            id: spec.id,
-            window: spec.window(),
-            local_time: slot - spec.release,
-            aligned_time: config.expose_aligned_clock.then_some(slot),
-            probed,
-        }
-    }
-
     /// Ground truth for [`ProbeEvent::SizeEstimate`]: the number of class-ℓ
     /// jobs (window exactly `2^class`) whose window contains `slot`.
-    fn live_class_size(jobs: &[JobState], class: u32, slot: u64) -> u64 {
+    fn live_class_size(specs: &[JobSpec], class: u32, slot: u64) -> u64 {
         let w = 1u64 << class;
-        jobs.iter()
-            .filter(|j| j.spec.window() == w && j.spec.release <= slot && slot < j.spec.deadline)
+        specs
+            .iter()
+            .filter(|s| s.window() == w && s.release <= slot && slot < s.deadline)
             .count() as u64
     }
 }
 
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Donate the allocations to this thread's pool (cleared first, so a
+        // pooled carcass is indistinguishable from a fresh one).
+        let mut carcass = arena::Carcass {
+            jobs: std::mem::take(&mut self.jobs),
+            active: std::mem::take(&mut self.active),
+            by_release: std::mem::take(&mut self.by_release),
+            parked: std::mem::take(&mut self.parked),
+            scratch: std::mem::take(&mut self.scratch),
+            event_scratch: std::mem::take(&mut self.event_scratch),
+            cohorts: std::mem::take(&mut self.cohorts),
+            duty: std::mem::take(&mut self.duty),
+        };
+        carcass.clear();
+        arena::stash(carcass);
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -999,5 +2143,115 @@ mod tests {
         let r = e.run();
         let trace = r.trace.as_ref().unwrap();
         assert!((trace[0].declared_contention - 1.0).abs() < 1e-12);
+    }
+
+    /// A small contended population exercising collisions and retirement,
+    /// used by the reuse tests below.
+    fn contended_setup(e: &mut Engine) {
+        e.add_job(JobSpec::new(0, 0, 8), Box::new(AtLocal(2)));
+        e.add_job(JobSpec::new(1, 1, 9), Box::new(AtLocal(1)));
+        e.add_job(
+            JobSpec::new(2, 0, 64),
+            Box::new(Recorder {
+                seen: Vec::new(),
+                when: 5,
+            }),
+        );
+    }
+
+    #[test]
+    fn reset_then_rerun_is_bit_identical() {
+        let run_fresh = |seed: u64| {
+            let mut e = Engine::fresh(EngineConfig::default().with_trace(), seed);
+            contended_setup(&mut e);
+            e.run()
+        };
+        let mut reused = Engine::fresh(EngineConfig::default().with_trace(), 7);
+        contended_setup(&mut reused);
+        let first = reused.run();
+        for seed in [7u64, 99, 7] {
+            reused.reset(seed);
+            contended_setup(&mut reused);
+            let again = reused.run();
+            let fresh = run_fresh(seed);
+            assert_eq!(again.outcomes(), fresh.outcomes(), "seed {seed}");
+            assert_eq!(again.counts, fresh.counts, "seed {seed}");
+            assert_eq!(again.accesses, fresh.accesses, "seed {seed}");
+            assert_eq!(again.trace, fresh.trace, "seed {seed}");
+        }
+        // Same seed after unrelated runs in between: still identical.
+        assert_eq!(first.outcomes(), run_fresh(7).outcomes());
+    }
+
+    #[test]
+    #[should_panic(expected = "call Engine::reset between runs")]
+    fn second_run_without_reset_panics() {
+        let mut e = Engine::new(EngineConfig::default(), 1);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(2)));
+        let _ = e.run();
+        let _ = e.run();
+    }
+
+    #[test]
+    fn arena_reuse_counter_climbs() {
+        // Drop-then-new on one thread must hit the thread-local pool. The
+        // counter is thread-local, so other tests can't interfere.
+        let before = Engine::arena_reuses();
+        for seed in 0..3 {
+            let mut e = Engine::new(EngineConfig::default(), seed);
+            e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(2)));
+            let _ = e.run();
+        }
+        // The first construction may or may not find a carcass (other
+        // tests on this thread); the second and third must.
+        assert!(Engine::arena_reuses() >= before + 2);
+    }
+
+    #[test]
+    fn cohort_mode_smoke() {
+        /// Pure cohort-model protocol: Bernoulli(p) transmitter.
+        struct Bern(f64);
+        impl Protocol for Bern {
+            fn act(&mut self, _ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+                if rand::Rng::gen_bool(rng, self.0) {
+                    Action::Transmit(Payload::Data(0))
+                } else {
+                    Action::Sleep
+                }
+            }
+            fn cohort_tx(&self, _ctx: &JobCtx) -> Option<CohortTx> {
+                Some(CohortTx::Constant { p: self.0 })
+            }
+        }
+        let n = 500u32;
+        let mut e = Engine::new(EngineConfig::default().cohort(), 42);
+        for i in 0..n {
+            e.add_job(
+                JobSpec::new(i, 0, 4_000),
+                Box::new(Bern(1.0 / f64::from(n))),
+            );
+        }
+        let r = e.run();
+        // Contention 1 ⇒ per-slot success ≈ 1/e; over 4000 slots most of
+        // the 500 jobs deliver. The exact count is seed-dependent — the
+        // point here is that the aggregate path runs, delivers plenty,
+        // and attributes each success to a real member.
+        assert!(r.successes() > 350, "successes={}", r.successes());
+        assert_eq!(r.counts.data_success, r.successes() as u64);
+        for (id, o) in r.outcomes().iter().enumerate() {
+            if let JobOutcome::Success { slot } = o {
+                assert!(*slot < 4_000, "job {id} success out of window");
+            }
+        }
+    }
+
+    #[test]
+    fn cohort_mode_respects_exact_optouts() {
+        // A protocol returning None from cohort_tx stays on the exact
+        // path even under Fidelity::Cohort.
+        let mut e = Engine::new(EngineConfig::default().cohort(), 3);
+        e.add_job(JobSpec::new(0, 0, 4), Box::new(AtLocal(2)));
+        let r = e.run();
+        assert_eq!(r.outcome(0), JobOutcome::Success { slot: 2 });
     }
 }

@@ -21,6 +21,8 @@ pub enum StreamLabel {
     Trial,
     /// Workload/instance generation.
     Workload,
+    /// Aggregate cohort draws under [`crate::engine::Fidelity::Cohort`].
+    Cohort,
     /// Anything else; caller supplies a unique discriminant via `index`.
     Misc,
 }
@@ -32,6 +34,7 @@ impl StreamLabel {
             StreamLabel::Jammer => 0x4a414d,   // "JAM"
             StreamLabel::Trial => 0x545249,    // "TRI"
             StreamLabel::Workload => 0x574b4c, // "WKL"
+            StreamLabel::Cohort => 0x434f48,   // "COH"
             StreamLabel::Misc => 0x4d4953,     // "MIS"
         }
     }
@@ -81,6 +84,47 @@ impl SeedSeq {
     }
 }
 
+/// Draw from `Binomial(n, p)` — the number of successes in `n` independent
+/// Bernoulli(`p`) coins — without a distributions dependency.
+///
+/// Uses the geometric-gap method: successive failure-run lengths are sampled
+/// as `floor(ln(U) / ln(1 - p))`, so the cost is `O(n·p + 1)` expected draws
+/// rather than `n`. That is exactly the cohort engine's regime (`n` up to
+/// 10⁵⁺ with `n·p` of order 1); for `p > 1/2` the complement
+/// `n − Binomial(n, 1 − p)` keeps the cost bounded. The method is exact for
+/// all `n` and `p` — no normal/Poisson approximation thresholds.
+pub fn sample_binomial(n: u64, p: f64, rng: &mut impl rand::RngCore) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p > 0.5 {
+        return n - sample_binomial(n, 1.0 - p, rng);
+    }
+    // U uniform on the half-open (0, 1]: zero is excluded so ln(U) is
+    // finite, and U = 1 (gap 0, back-to-back successes) stays reachable.
+    let mut unit_open = || (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64);
+    let ln_q = (1.0 - p).ln(); // finite and < 0 for 0 < p <= 0.5
+    let mut successes = 0u64;
+    let mut pos = 0u64;
+    loop {
+        let gap = (unit_open().ln() / ln_q).floor();
+        // A huge gap can exceed u64 range; saturate past n and stop.
+        pos = pos.saturating_add(if gap >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            gap as u64
+        });
+        if pos >= n {
+            return successes;
+        }
+        successes += 1;
+        pos += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +146,7 @@ mod tests {
             StreamLabel::Jammer,
             StreamLabel::Trial,
             StreamLabel::Workload,
+            StreamLabel::Cohort,
             StreamLabel::Misc,
         ] {
             for idx in 0..100 {
@@ -127,5 +172,48 @@ mod tests {
         let root = SeedSeq::new(1);
         assert_ne!(root.trial(0).master(), root.trial(1).master());
         assert_eq!(root.trial(4).master(), root.trial(4).master());
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = SeedSeq::new(3).rng(StreamLabel::Cohort, 0);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(100, -0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_binomial(100, 1.5, &mut rng), 100);
+        for _ in 0..1_000 {
+            assert!(sample_binomial(7, 0.3, &mut rng) <= 7);
+        }
+    }
+
+    #[test]
+    fn binomial_moments_match() {
+        // Sample mean and variance within 5 sigma of n·p and n·p·q, on both
+        // sides of the p = 1/2 complement switch and in the sparse regime
+        // the cohort engine lives in (n·p ≈ 1 with huge n).
+        let mut rng = SeedSeq::new(17).rng(StreamLabel::Cohort, 0);
+        for (n, p) in [(40u64, 0.25f64), (40, 0.75), (100_000, 1e-5), (9, 0.5)] {
+            let trials = 40_000u64;
+            let (mut sum, mut sum_sq) = (0f64, 0f64);
+            for _ in 0..trials {
+                let x = sample_binomial(n, p, &mut rng) as f64;
+                sum += x;
+                sum_sq += x * x;
+            }
+            let mean = sum / trials as f64;
+            let var = sum_sq / trials as f64 - mean * mean;
+            let (m, v) = (n as f64 * p, n as f64 * p * (1.0 - p));
+            let mean_tol = 5.0 * (v / trials as f64).sqrt();
+            assert!(
+                (mean - m).abs() < mean_tol,
+                "mean {mean} vs {m} (n={n} p={p})"
+            );
+            // Variance-of-variance bound is loose; 15% is ample at 40k.
+            assert!(
+                (var - v).abs() < 0.15 * v.max(0.5),
+                "var {var} vs {v} (n={n} p={p})"
+            );
+        }
     }
 }

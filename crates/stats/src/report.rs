@@ -86,8 +86,10 @@ pub struct Provenance {
     pub git_dirty: Option<bool>,
     /// `rustc --version` of the toolchain, if available.
     pub rustc_version: Option<String>,
-    /// Available hardware parallelism (worker threads the Monte-Carlo
-    /// runner can use).
+    /// Worker threads the Monte-Carlo runner uses — the machine's
+    /// available parallelism unless the producer recorded an explicit
+    /// override (e.g. a `--threads` flag) via
+    /// [`Provenance::capture_with_threads`].
     pub threads: u64,
 }
 
@@ -116,6 +118,17 @@ impl Provenance {
             git_dirty,
             rustc_version,
             threads,
+        }
+    }
+
+    /// [`Provenance::capture`], but recording an explicit worker-thread
+    /// count instead of the machine's available parallelism — use when a
+    /// `--threads` override is in effect, so artifacts produced on
+    /// heterogeneous CI machines stay comparable.
+    pub fn capture_with_threads(threads: u64) -> Self {
+        Self {
+            threads,
+            ..Self::capture()
         }
     }
 }

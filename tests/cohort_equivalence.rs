@@ -1,0 +1,145 @@
+//! Statistical equivalence of [`Fidelity::Cohort`] and the exact path.
+//!
+//! Cohort mode replaces per-job Bernoulli draws with one binomial draw per
+//! cohort, so reports are *not* bit-identical to the exact engine — the
+//! claim is distributional. These tests validate it the way the mode's
+//! contract states it: the Wilson confidence intervals of the success rate
+//! under each fidelity must overlap.
+//!
+//! Two tiers of strictness:
+//!
+//! * **ALOHA ([`FixedProbability`])** is *exactly* the cohort model
+//!   (Bernoulli(p) each slot, never listening), so the two fidelities
+//!   sample the same distribution and a tight interval must agree.
+//! * **[`Uniform`] (k = 1)** maps to the engine's one-shot model, which is
+//!   also exact (sequential-hazard decomposition of a uniform one-shot
+//!   placement), so its intervals must agree just as tightly.
+
+use contention_deadlines::baselines::FixedProbability;
+use contention_deadlines::protocols::Uniform;
+use contention_deadlines::sim::engine::{Engine, EngineConfig, Fidelity, Protocol};
+use contention_deadlines::sim::job::JobSpec;
+use contention_deadlines::sim::runner::run_trials;
+use contention_deadlines::stats::Proportion;
+
+/// Total successes over total jobs for `trials` independent runs of the
+/// `n`-job population built by `factory`, under the given fidelity.
+fn success_proportion(
+    fidelity: Fidelity,
+    trials: u64,
+    master_seed: u64,
+    n: u32,
+    window: u64,
+    factory: impl Fn(&JobSpec) -> Box<dyn Protocol> + Sync,
+) -> Proportion {
+    let config = EngineConfig {
+        fidelity,
+        ..EngineConfig::default()
+    };
+    let hits: u64 = run_trials(trials, master_seed, |_, seed| {
+        let mut e = Engine::new(config.clone(), seed);
+        for i in 0..n {
+            let spec = JobSpec::new(i, 0, window);
+            e.add_job(spec, factory(&spec));
+        }
+        e.run().successes() as u64
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .sum();
+    Proportion::new(hits, trials * u64::from(n))
+}
+
+/// Assert the Wilson intervals at quantile `z` overlap, with a diagnostic
+/// that prints both intervals on failure.
+fn assert_wilson_overlap(label: &str, a: Proportion, b: Proportion, z: f64) {
+    let (alo, ahi) = a.wilson(z);
+    let (blo, bhi) = b.wilson(z);
+    assert!(
+        alo <= bhi && blo <= ahi,
+        "{label}: exact [{alo:.4}, {ahi:.4}] (p̂={:.4}) vs cohort \
+         [{blo:.4}, {bhi:.4}] (p̂={:.4}) do not overlap",
+        a.estimate(),
+        b.estimate(),
+    );
+}
+
+#[test]
+fn aloha_cohort_matches_exact_tightly() {
+    // n jobs at p = 1/n (contention 1) over 4 windows' worth of slots:
+    // enough contention that the aggregate resolution logic is exercised,
+    // enough slack that most jobs deliver. Exact per-slot model match ⇒
+    // the 95% intervals themselves must overlap.
+    let n = 48u32;
+    let p = 1.0 / f64::from(n);
+    let exact = success_proportion(Fidelity::Exact, 300, 1001, n, 256, |_| {
+        Box::new(FixedProbability::new(p))
+    });
+    let cohort = success_proportion(Fidelity::Cohort, 300, 2002, n, 256, |_| {
+        Box::new(FixedProbability::new(p))
+    });
+    assert_wilson_overlap("aloha", exact, cohort, 1.959_963_985);
+}
+
+#[test]
+fn aloha_cohort_matches_exact_under_heavy_contention() {
+    // Contention 4: most slots are collisions, deliveries are rare, and
+    // the binomial draw is >1 almost always — stressing the "materialize
+    // only the sole winner" logic. Still the same distribution; allow
+    // z = 3 for the rarer-event proportion.
+    let n = 64u32;
+    let p = 4.0 / f64::from(n);
+    let exact = success_proportion(Fidelity::Exact, 250, 3003, n, 192, |_| {
+        Box::new(FixedProbability::new(p))
+    });
+    let cohort = success_proportion(Fidelity::Cohort, 250, 4004, n, 192, |_| {
+        Box::new(FixedProbability::new(p))
+    });
+    assert_wilson_overlap("aloha-heavy", exact, cohort, 3.0);
+}
+
+#[test]
+fn uniform_cohort_matches_exact() {
+    // k = 1, n jobs in a window of exactly n: contention 1 per slot, the
+    // Lemma 4 regime where a constant fraction (≈ 1/e of slots become
+    // singletons) succeeds. The one-shot aggregate model samples the same
+    // joint distribution as per-job uniform placement, so the 95%
+    // intervals must overlap.
+    let exact = success_proportion(Fidelity::Exact, 300, 5005, 64, 64, |_| {
+        Box::new(Uniform::single())
+    });
+    let cohort = success_proportion(Fidelity::Cohort, 300, 6006, 64, 64, |_| {
+        Box::new(Uniform::single())
+    });
+    assert_wilson_overlap("uniform", exact, cohort, 1.959_963_985);
+
+    // And in the sparse regime (w ≫ n) where nearly everyone succeeds.
+    let exact = success_proportion(Fidelity::Exact, 300, 7007, 32, 512, |_| {
+        Box::new(Uniform::single())
+    });
+    let cohort = success_proportion(Fidelity::Cohort, 300, 8008, 32, 512, |_| {
+        Box::new(Uniform::single())
+    });
+    assert_wilson_overlap("uniform-sparse", exact, cohort, 1.959_963_985);
+}
+
+#[test]
+fn cohort_mode_is_deterministic_per_seed() {
+    // Same seed ⇒ same cohort draws ⇒ identical outcomes, independent of
+    // thread scheduling (the cohort stream is derived, not shared).
+    let config = EngineConfig {
+        fidelity: Fidelity::Cohort,
+        ..EngineConfig::default()
+    };
+    let run = || {
+        let mut e = Engine::new(config.clone(), 77);
+        for i in 0..40u32 {
+            e.add_job(
+                JobSpec::new(i, 0, 300),
+                Box::new(FixedProbability::new(0.02)),
+            );
+        }
+        e.run().outcomes().to_vec()
+    };
+    assert_eq!(run(), run());
+}

@@ -525,6 +525,69 @@ proptest! {
         );
     }
 
+    /// Trial-arena reuse: one engine cycled through [`Engine::reset`]
+    /// across a batch of trials must produce byte-identical reports to a
+    /// freshly allocated engine per trial, across protocols × adversaries
+    /// × scheduling modes. (Byte-identical literally: the serialized
+    /// reports are compared as strings, with only the wall-clock
+    /// `engine_nanos` field zeroed on both sides.)
+    #[test]
+    fn pooled_reuse_equals_fresh(
+        seeds in proptest::collection::vec(0u64..1_000_000, 3..6),
+        n in 1usize..8,
+        log_w in 6u32..11,
+        dense_pick in 0usize..2,
+        jam_picks in proptest::collection::vec(0usize..9, 5..6),
+        proto_picks in proptest::collection::vec(0usize..6, 8..9),
+        releases in proptest::collection::vec(0u64..256, 8..9),
+    ) {
+        let w = 1u64 << log_w;
+        let grid = jammers();
+        let base = EngineConfig::default().with_trace();
+        let config = if dense_pick == 1 { base.dense() } else { base };
+        let setup = |e: &mut Engine| {
+            for i in 0..n {
+                let spec = JobSpec::new(i as u32, releases[i], releases[i] + w);
+                let protocol: Box<dyn Protocol> = match proto_picks[i] {
+                    0 => Box::new(Uniform::new(1)),
+                    1 => Box::new(Uniform::new(2)),
+                    2 => Box::new(Sawtooth::new()),
+                    3 => Box::new(BinaryExponentialBackoff::new()),
+                    4 => Box::new(WindowedBackoff::new(
+                        Schedule::Geometric { base: 2, first: 1 },
+                    )),
+                    _ => Box::new(FixedProbability::new(0.03)),
+                };
+                e.add_job(spec, protocol);
+            }
+        };
+        // The reused engine survives the whole batch, like one runner
+        // worker's engine; the fresh engine bypasses the arena entirely.
+        let mut reused = Engine::new(config.clone(), 0);
+        for (t, &seed) in seeds.iter().enumerate() {
+            let jammer = grid[jam_picks[t] % grid.len()].1.clone();
+            let mut fresh = Engine::fresh(config.clone(), seed);
+            if let Some(j) = &jammer {
+                fresh.set_jammer(j.clone());
+            }
+            setup(&mut fresh);
+            let mut a = fresh.run();
+
+            reused.reset(seed);
+            if let Some(j) = &jammer {
+                reused.set_jammer(j.clone());
+            }
+            setup(&mut reused);
+            let mut b = reused.run();
+
+            a.engine_nanos = 0;
+            b.engine_nanos = 0;
+            let aj = serde_json::to_string(&a).expect("serialize fresh report");
+            let bj = serde_json::to_string(&b).expect("serialize reused report");
+            prop_assert_eq!(aj, bj, "trial {} diverged after reuse", t);
+        }
+    }
+
     /// Random PUNCTUAL populations: the protocol with the most intricate
     /// wake mask (round-position dependent, phase-dependent) on random
     /// staggered windows.
