@@ -13,12 +13,20 @@
 //! holds the exact-fidelity event-mode rate) and cross-checks the success
 //! fractions instead of the full reports.
 //!
+//! Two `mode: "vectorized"` rows measure [`Fidelity::Vectorized`]
+//! (DESIGN.md §3f) against the exact engine on the same 10⁵-job UNIFORM
+//! population and on a 10⁵-lane dense ALOHA population. Vectorized is
+//! *bit-identical* to exact, so these rows assert full report equality
+//! (outcomes, counts, accesses, slots run) before reporting the speedup;
+//! as with the cohort row, `dense_slots_per_sec` holds the exact rate and
+//! `event_slots_per_sec` the kernel rate.
+//!
 //! Timing uses the engine's own `engine_nanos` (slot-loop wall time), so
 //! setup and report assembly are excluded. Each configuration runs
 //! `REPS` times per mode and the fastest rep is kept — standard practice
 //! for throughput floors on a shared machine.
 
-use dcr_baselines::{BinaryExponentialBackoff, Sawtooth};
+use dcr_baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
 use dcr_core::punctual::PunctualParams;
 use dcr_core::uniform::Uniform;
 use dcr_core::PunctualProtocol;
@@ -39,8 +47,9 @@ struct Row {
     jobs: usize,
     slots_run: u64,
     /// `"exact"` rows compare dense vs event scheduling; the `"cohort"`
-    /// row compares exact vs cohort fidelity (both event-driven), with the
-    /// exact rate in `dense_slots_per_sec` and the cohort rate in
+    /// and `"vectorized"` rows compare exact vs the named fidelity (same
+    /// scheduling on both sides), with the exact rate in
+    /// `dense_slots_per_sec` and the fast-path rate in
     /// `event_slots_per_sec`.
     mode: &'static str,
     dense_slots_per_sec: f64,
@@ -187,6 +196,22 @@ fn uniform_cohort(n: u32, window: u64) -> Workload {
     }
 }
 
+/// A dense ALOHA population: one Bernoulli bucket of `n` lanes polled
+/// every slot — the workload the kernel's 64-lane word pass targets.
+fn aloha_lanes(n: u32, window: u64) -> Workload {
+    let p = 2.0 / window as f64;
+    Workload {
+        name: format!("e1-aloha-lanes n={n} w=2^{}", window.trailing_zeros()),
+        jobs: (0..n)
+            .map(|i| {
+                let spec = JobSpec::new(i, 0, window);
+                let f: ProtocolFactory = Box::new(move || Box::new(FixedProbability::new(p)));
+                (spec, f)
+            })
+            .collect(),
+    }
+}
+
 fn main() {
     let workloads = vec![
         punctual_batch(48, 1 << 14),
@@ -297,6 +322,70 @@ fn main() {
             gap_skips: sched.gap_skips,
             gap_slots: sched.gap_slots,
             skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
+            parks: sched.parks,
+            peak_parked: sched.peak_parked,
+        });
+    }
+
+    // Vectorized rows: exact vs vectorized fidelity under identical
+    // scheduling, gated on full bit-identity of the reports.
+    for (w, scheduling, sched_name) in [
+        (
+            uniform_cohort(100_000, 1 << 19),
+            Scheduling::EventDriven,
+            "event",
+        ),
+        (aloha_lanes(100_000, 1 << 11), Scheduling::Dense, "dense"),
+    ] {
+        let (exact_rate, exact_report) = best_rate(&w, scheduling, Fidelity::Exact);
+        let (vector_rate, vector_report) = best_rate(&w, scheduling, Fidelity::Vectorized);
+        assert_eq!(
+            exact_report.outcomes(),
+            vector_report.outcomes(),
+            "{}: vectorized outcomes diverge from exact",
+            w.name
+        );
+        assert_eq!(
+            exact_report.counts, vector_report.counts,
+            "{}: vectorized slot counts diverge from exact",
+            w.name
+        );
+        assert_eq!(
+            exact_report.accesses, vector_report.accesses,
+            "{}: vectorized access counts diverge from exact",
+            w.name
+        );
+        assert_eq!(
+            exact_report.slots_run, vector_report.slots_run,
+            "{}: vectorized slots_run diverges from exact",
+            w.name
+        );
+        let speedup = if exact_rate > 0.0 {
+            vector_rate / exact_rate
+        } else {
+            f64::NAN
+        };
+        let sched = vector_report.sched_stats;
+        println!(
+            "{:48} jobs={:4} slots={:8}  exact {:>12.0}/s  vector {:>11.0}/s  speedup {:5.2}x  ({sched_name})",
+            w.name,
+            w.jobs.len(),
+            vector_report.slots_run,
+            exact_rate,
+            vector_rate,
+            speedup,
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            jobs: w.jobs.len(),
+            slots_run: vector_report.slots_run,
+            mode: "vectorized",
+            dense_slots_per_sec: exact_rate,
+            event_slots_per_sec: vector_rate,
+            speedup,
+            gap_skips: sched.gap_skips,
+            gap_slots: sched.gap_slots,
+            skipped_fraction: sched.skipped_fraction(vector_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
         });

@@ -69,9 +69,16 @@ fn sweep(
         let n = instance.n();
         let trials = cfg.cell_trials(80);
         let outcomes = run_trials(trials, cfg.seed ^ u64::from(scale), |_, seed| {
-            let r = run_instance(&instance, EngineConfig::default(), None, seed, |_| {
-                Box::new(Uniform::single())
-            });
+            // Pure one-shot UNIFORM population: the vectorized kernel is
+            // bit-identical to the exact path (DESIGN.md §3f) and keeps
+            // the large-n cells off the per-job dispatch loop.
+            let r = run_instance(
+                &instance,
+                EngineConfig::default().vectorized(),
+                None,
+                seed,
+                |_| Box::new(Uniform::single()),
+            );
             (r.success_fraction(), r.slots_run)
         });
         let slots: u64 = outcomes.iter().map(|t| t.value.1).sum();
@@ -152,9 +159,13 @@ pub fn baseline_fraction(cfg: &ExpConfig) -> f64 {
     let instance = aligned_instance(0);
     mean(
         run_trials(cfg.cell_trials(40), cfg.seed, |_, seed| {
-            run_instance(&instance, EngineConfig::default(), None, seed, |_| {
-                Box::new(Uniform::single())
-            })
+            run_instance(
+                &instance,
+                EngineConfig::default().vectorized(),
+                None,
+                seed,
+                |_| Box::new(Uniform::single()),
+            )
             .success_fraction()
         })
         .into_iter()
@@ -182,9 +193,13 @@ mod tests {
         let frac = |inst: &Instance| {
             mean(
                 run_trials(20, cfg.seed, |_, seed| {
-                    run_instance(inst, EngineConfig::default(), None, seed, |_| {
-                        Box::new(Uniform::single())
-                    })
+                    run_instance(
+                        inst,
+                        EngineConfig::default().vectorized(),
+                        None,
+                        seed,
+                        |_| Box::new(Uniform::single()),
+                    )
                     .success_fraction()
                 })
                 .into_iter()

@@ -31,7 +31,15 @@ where
     F: FnMut(&dcr_sim::job::JobSpec) -> Box<dyn Protocol>,
 {
     let instance = harmonic(n, INV_GAMMA);
-    let r = run_instance(&instance, EngineConfig::default(), None, seed, factory);
+    // Vectorized is bit-identical to exact (DESIGN.md §3f); UNIFORM k=1
+    // rides the one-shot calendar, k=3 falls back to the exact path.
+    let r = run_instance(
+        &instance,
+        EngineConfig::default().vectorized(),
+        None,
+        seed,
+        factory,
+    );
     let decile = (n / 10).max(1);
     let decile_ok = (0..decile)
         .filter(|&i| r.outcome(i as u32).is_success())

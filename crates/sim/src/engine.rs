@@ -40,8 +40,10 @@
 //! results (the reset contract is exactly "everything derived from the seed
 //! and the jobs is cleared").
 
+use crate::crng::{CounterRng, Phase};
 use crate::jamming::{Jammer, SlotView};
 use crate::job::{JobId, JobSpec};
+use crate::kernel::SlotKernel;
 use crate::message::Payload;
 use crate::metrics::{AccessCounts, JamStats, JobOutcome, SchedStats, SimReport, SlotCounts};
 use crate::probe::{ProbeBus, ProbeEvent, ProbeRecord, ProbeReport, ProbeSpec, VecSink};
@@ -50,7 +52,6 @@ use crate::sched::WakeQueue;
 use crate::slot::Feedback;
 use crate::trace::{SlotOutcome, SlotRecord};
 use rand::{Rng, RngCore};
-use rand_chacha::ChaCha8Rng;
 
 /// A job's decision for one slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,14 +104,33 @@ impl JobCtx {
 }
 
 /// A transmission profile a protocol can expose so the engine may simulate
-/// the job in aggregate under [`Fidelity::Cohort`].
+/// the job in aggregate under [`Fidelity::Cohort`] or via the vectorized
+/// kernel under [`Fidelity::Vectorized`].
 ///
 /// The common contract: from activation until delivery or deadline the job
-/// never listens, and its transmissions follow the declared model exactly
-/// (in distribution). Jobs with the same profile and deadline form one
-/// cohort whose per-slot transmitter *count* is a single binomial draw
+/// never listens, never finishes early ([`Protocol::is_done`] stays false
+/// until delivery), and its transmissions follow the declared model
+/// exactly (in distribution). Jobs with the same profile and deadline form
+/// one cohort whose per-slot transmitter *count* is a single binomial draw
 /// instead of one Bernoulli draw per job — so both models below are exact,
 /// not approximations.
+///
+/// [`Fidelity::Vectorized`] additionally relies on a *bit-level draw
+/// schedule*, because the kernel reproduces the exact path's draws
+/// verbatim rather than resampling in aggregate:
+///
+/// - [`CohortTx::Constant`]: `act` consumes **exactly one** `gen_bool(p)`
+///   per call and transmits iff it lands; `on_activate` and `on_feedback`
+///   consume no randomness and have no observable effect.
+/// - [`CohortTx::OneShot`]: `on_activate` consumes **exactly one**
+///   `gen_range(0..window)` naming the local transmission slot; `act`
+///   consumes nothing (transmit at the chosen slot, sleep otherwise);
+///   `on_feedback` consumes no randomness and has no observable effect.
+///
+/// Under the counter-based RNG each of those draws is the *first word* of
+/// a known `(job_key, slot, phase)` position, which is what lets the
+/// kernel batch them (and anyone replay them — see
+/// [`crate::crng::replay_bernoulli`] / [`crate::crng::replay_oneshot`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CohortTx {
     /// "Transmit the data message with probability `p` in every slot,
@@ -306,6 +326,17 @@ pub enum Fidelity {
     /// to [`Fidelity::Exact`] (same distributions), not bit-identical; jobs
     /// whose protocol returns `None` still take the exact path.
     Cohort,
+    /// Jobs whose protocol reports a [`Protocol::cohort_tx`] profile are
+    /// managed by the vectorized slot kernel: constant-probability jobs
+    /// are probability-bucketed and drawn as wide batched Bernoulli
+    /// passes over a liveness bitmask (64 lanes per word); one-shot jobs
+    /// have their single transmission slot precomputed into a calendar.
+    /// Because every draw is counter-based (`crate::crng`), the kernel
+    /// is **bit-identical** to [`Fidelity::Exact`] — same outcomes, same
+    /// counters, same trace tallies — while skipping per-job dispatch,
+    /// and independent of [`EngineConfig::kernel_shards`]. Jobs whose
+    /// protocol returns `None` still take the exact path.
+    Vectorized,
 }
 
 /// Engine configuration.
@@ -328,6 +359,10 @@ pub struct EngineConfig {
     /// probe layer entirely; with `record_trace` also off, the slot loop
     /// does no observability work beyond two branch checks.
     pub probe: Option<ProbeSpec>,
+    /// Worker shards for the vectorized kernel's Bernoulli pass
+    /// (`0`/`1` = single-threaded). Counter-based draws make the result
+    /// bit-identical for every shard count; only wall-clock changes.
+    pub kernel_shards: usize,
 }
 
 impl EngineConfig {
@@ -362,6 +397,19 @@ impl EngineConfig {
         self.probe = Some(spec);
         self
     }
+
+    /// Enable the vectorized slot kernel (see [`Fidelity::Vectorized`]).
+    pub fn vectorized(mut self) -> Self {
+        self.fidelity = Fidelity::Vectorized;
+        self
+    }
+
+    /// Set the kernel's worker-shard count (see
+    /// [`EngineConfig::kernel_shards`]).
+    pub fn with_kernel_shards(mut self, shards: usize) -> Self {
+        self.kernel_shards = shards;
+        self
+    }
 }
 
 /// Struct-of-arrays job storage, indexed by job id.
@@ -370,11 +418,17 @@ impl EngineConfig {
 /// the per-slot loop actually touches (specs, outcomes) densely packed, and
 /// lets the borrow checker hand out disjoint mutable borrows of a job's
 /// protocol and RNG without runtime cost.
+///
+/// Since PR 6 jobs carry no RNG *stream* at all — only a 64-bit counter
+/// key. Every protocol-visible draw comes from a stack-built
+/// [`CounterRng`] positioned at `(key, slot, phase)`, so a draw is a pure
+/// function of its position (see `crate::crng` and DESIGN.md §3f).
 #[derive(Default)]
 struct JobTable {
     specs: Vec<JobSpec>,
     protocols: Vec<Box<dyn Protocol>>,
-    rngs: Vec<ChaCha8Rng>,
+    /// Per-job counter-RNG keys ([`SeedSeq::job_key`]).
+    keys: Vec<u64>,
     outcomes: Vec<Option<JobOutcome>>,
     accesses: Vec<AccessCounts>,
 }
@@ -384,10 +438,10 @@ impl JobTable {
         self.specs.len()
     }
 
-    fn push(&mut self, spec: JobSpec, protocol: Box<dyn Protocol>, rng: ChaCha8Rng) {
+    fn push(&mut self, spec: JobSpec, protocol: Box<dyn Protocol>, key: u64) {
         self.specs.push(spec);
         self.protocols.push(protocol);
-        self.rngs.push(rng);
+        self.keys.push(key);
         self.outcomes.push(None);
         self.accesses.push(AccessCounts::default());
     }
@@ -395,7 +449,7 @@ impl JobTable {
     fn clear(&mut self) {
         self.specs.clear();
         self.protocols.clear();
-        self.rngs.clear();
+        self.keys.clear();
         self.outcomes.clear();
         self.accesses.clear();
     }
@@ -421,6 +475,8 @@ struct SlotScratch {
     cohort_hits: Vec<(u32, u64)>,
     /// Polled indices in job-id order, for deterministic probe drains.
     probe_order: Vec<u32>,
+    /// Job indices the vectorized kernel says transmit this slot.
+    kernel_tx: Vec<u32>,
 }
 
 impl SlotScratch {
@@ -432,6 +488,7 @@ impl SlotScratch {
         self.listen_groups.clear();
         self.cohort_hits.clear();
         self.probe_order.clear();
+        self.kernel_tx.clear();
     }
 }
 
@@ -743,6 +800,7 @@ impl CohortSet {
 /// thread. Donation happens in [`Engine::drop`]; [`Engine::new`] drains it.
 mod arena {
     use super::{CohortSet, DutySet, JobTable, SlotScratch, WakeQueue};
+    use crate::kernel::SlotKernel;
     use crate::probe::ProbeEvent;
     use std::cell::{Cell, RefCell};
 
@@ -757,6 +815,7 @@ mod arena {
         pub event_scratch: Vec<ProbeEvent>,
         pub cohorts: CohortSet,
         pub duty: DutySet,
+        pub kernel: SlotKernel,
     }
 
     impl Carcass {
@@ -769,6 +828,7 @@ mod arena {
             self.event_scratch.clear();
             self.cohorts.clear();
             self.duty.clear();
+            self.kernel.clear();
         }
     }
 
@@ -817,6 +877,9 @@ pub struct Engine {
     cohorts: CohortSet,
     /// Duty groups (periodic-schedule jobs; see [`Protocol::duty_cycle`]).
     duty: DutySet,
+    /// The vectorized slot kernel (inert unless fidelity is
+    /// [`Fidelity::Vectorized`]; see [`crate::kernel`]).
+    kernel: SlotKernel,
     /// Guards against a second `run` without a `reset` in between.
     ran: bool,
 }
@@ -840,6 +903,7 @@ impl Engine {
             event_scratch: carcass.event_scratch,
             cohorts: carcass.cohorts,
             duty: carcass.duty,
+            kernel: carcass.kernel,
             ran: false,
         }
     }
@@ -861,6 +925,7 @@ impl Engine {
             event_scratch: Vec::new(),
             cohorts: CohortSet::default(),
             duty: DutySet::default(),
+            kernel: SlotKernel::new(),
             ran: false,
         }
     }
@@ -891,6 +956,7 @@ impl Engine {
         self.event_scratch.clear();
         self.cohorts.clear();
         self.duty.clear();
+        self.kernel.clear();
         self.ran = false;
     }
 
@@ -907,8 +973,8 @@ impl Engine {
             self.jobs.len(),
             "jobs must be added in id order"
         );
-        let rng = self.seeds.rng(StreamLabel::Job, u64::from(spec.id));
-        self.jobs.push(spec, protocol, rng);
+        let key = self.seeds.job_key(u64::from(spec.id));
+        self.jobs.push(spec, protocol, key);
     }
 
     /// Add every job in `specs`, building each protocol with `factory`.
@@ -965,6 +1031,11 @@ impl Engine {
         self.scratch.clear();
         let event_driven = self.config.scheduling == Scheduling::EventDriven;
         let cohort_mode = self.config.fidelity == Fidelity::Cohort;
+        let vector_mode = self.config.fidelity == Fidelity::Vectorized;
+        if vector_mode {
+            self.kernel
+                .prepare(self.jobs.len(), self.config.kernel_shards);
+        }
         let aligned_clock = self.config.expose_aligned_clock;
         // An adversary that can strike silent slots draws randomness every
         // slot, so all-parked stretches cannot be skipped without
@@ -998,12 +1069,18 @@ impl Engine {
 
         let mut slot: u64 = 0;
         while slot < max_slots {
+            // Retire kernel state whose deadline arrived (outcomes settle
+            // to Missed in the end-of-run sweep, as on the exact path).
+            if vector_mode {
+                self.kernel.expire(slot);
+            }
             // Nothing live and nothing pending: the channel is idle forever.
             // Wake-queue entries that are stale duty backstops (their job
             // already retired) don't count as live.
             if self.active.is_empty()
                 && self.parked.len() as u64 == self.duty.dead_backstops
                 && self.cohorts.total == 0
+                && self.kernel.pending() == 0
                 && next_pending == self.by_release.len()
             {
                 break;
@@ -1017,7 +1094,10 @@ impl Engine {
             // cohort draws randomness (and can transmit) every slot.
             if self.active.is_empty()
                 && self.cohorts.total == 0
-                && (self.parked.len() as u64 == self.duty.dead_backstops || !jammer_strikes_idle)
+                && self.kernel.bern_live() == 0
+                && ((self.parked.len() as u64 == self.duty.dead_backstops
+                    && self.kernel.pending() == 0)
+                    || !jammer_strikes_idle)
             {
                 let mut next_event = u64::MAX;
                 if next_pending < self.by_release.len() {
@@ -1025,6 +1105,16 @@ impl Engine {
                 }
                 if let Some(wake) = self.parked.next_wake() {
                     next_event = next_event.min(wake);
+                }
+                if let Some(tx) = self.kernel.next_tx() {
+                    next_event = next_event.min(tx);
+                }
+                if let Some(expiry) = self.kernel.next_expiry() {
+                    // A pending (fired-but-undelivered) one-shot holds the
+                    // run open to its deadline, exactly as the exact path's
+                    // parked job does; the skip must land there, not at the
+                    // horizon.
+                    next_event = next_event.min(expiry);
                 }
                 if self.duty.total > 0 {
                     // Duty groups break the gap at their next wake or
@@ -1049,7 +1139,9 @@ impl Engine {
                             } else {
                                 SlotOutcome::SilentGap { len: gap }
                             },
-                            live_jobs: (self.parked.len() as u64 - self.duty.dead_backstops) as u32,
+                            live_jobs: (self.parked.len() as u64 - self.duty.dead_backstops
+                                + self.kernel.pending() as u64)
+                                as u32,
                             declared_contention: 0.0,
                             payload: None,
                         });
@@ -1120,8 +1212,33 @@ impl Engine {
                         continue;
                     }
                 }
-                self.jobs.protocols[idx as usize]
-                    .on_activate(&ctx, &mut self.jobs.rngs[idx as usize]);
+                if vector_mode {
+                    if let Some(profile) = self.jobs.protocols[idx as usize].cohort_tx(&ctx) {
+                        // Kernel-managed: the profile's bit-level draw
+                        // schedule (see [`CohortTx`]) lets the kernel make
+                        // the job's draws itself, so the protocol is never
+                        // polled or called back — unobservably, since such
+                        // protocols have no observable callback effects.
+                        let key = self.jobs.keys[idx as usize];
+                        match profile {
+                            CohortTx::Constant { p } => {
+                                self.kernel.insert_bern(idx, key, p, spec.deadline);
+                            }
+                            CohortTx::OneShot => {
+                                self.kernel.insert_shot(
+                                    idx,
+                                    key,
+                                    spec.release,
+                                    spec.window(),
+                                    spec.deadline,
+                                );
+                            }
+                        }
+                        continue;
+                    }
+                }
+                let mut rng = CounterRng::new(self.jobs.keys[idx as usize], slot, Phase::Activate);
+                self.jobs.protocols[idx as usize].on_activate(&ctx, &mut rng);
                 self.active.push(idx);
             }
 
@@ -1190,7 +1307,8 @@ impl Engine {
                     probed,
                 };
                 self.scratch.ctxs.push(ctx);
-                let action = self.jobs.protocols[idx].act(&ctx, &mut self.jobs.rngs[idx]);
+                let mut rng = CounterRng::new(self.jobs.keys[idx], slot, Phase::Act);
+                let action = self.jobs.protocols[idx].act(&ctx, &mut rng);
                 let declared = if recording {
                     self.jobs.protocols[idx].tx_probability(&ctx)
                 } else {
@@ -1248,6 +1366,29 @@ impl Engine {
                     if recording {
                         declared_contention += m as f64 * p;
                     }
+                }
+            }
+
+            // 2c. Vectorized kernel: batched Bernoulli draws over the
+            // probability buckets plus due one-shot calendar entries.
+            // Each transmitter joins the slot exactly as an exact-path
+            // `Action::Transmit` would (the draws are bit-identical; see
+            // `crate::kernel`); kernel jobs are never polled, so they take
+            // no feedback and appear in no `codes`.
+            if vector_mode {
+                self.scratch.kernel_tx.clear();
+                self.kernel.collect(slot, &mut self.scratch.kernel_tx);
+                for &idx in &self.scratch.kernel_tx {
+                    self.jobs.accesses[idx as usize].transmissions += 1;
+                    self.scratch
+                        .transmitters
+                        .push((idx, Payload::Data(self.jobs.specs[idx as usize].id)));
+                }
+                if recording {
+                    // Bucketed jobs declare `p` whether they transmit or
+                    // sleep; one-shots declare nothing while parked (the
+                    // exact path's parked jobs are not polled either).
+                    declared_contention += self.kernel.declared();
                 }
             }
 
@@ -1382,7 +1523,10 @@ impl Engine {
                     // Duty members are counted through their deadline
                     // backstops in the wake queue (exactly one per member);
                     // stale backstops of retired members are discounted.
-                    live_jobs: (self.active.len() + self.parked.len() + self.cohorts.total) as u32
+                    live_jobs: (self.active.len()
+                        + self.parked.len()
+                        + self.cohorts.total
+                        + self.kernel.pending()) as u32
                         - self.duty.dead_backstops as u32,
                     declared_contention,
                     payload: feedback.payload().copied(),
@@ -1401,6 +1545,13 @@ impl Engine {
                 let outcome = &mut self.jobs.outcomes[owner as usize];
                 if outcome.is_none() {
                     *outcome = Some(JobOutcome::Success { slot });
+                }
+                // A delivered kernel-managed job leaves the kernel
+                // immediately (its Bernoulli lane dies / its calendar
+                // deadline count drops).
+                if vector_mode && self.kernel.is_managed(owner as usize) {
+                    self.kernel
+                        .on_delivery(owner as usize, self.jobs.specs[owner as usize].deadline);
                 }
                 // A delivered cohort member leaves its cohort immediately.
                 if let Some((c_idx, pos)) = cohort_winner {
@@ -1438,7 +1589,8 @@ impl Engine {
                 let spec = self.jobs.specs[idx];
                 let ctx = self.scratch.ctxs[k];
                 if code != CODE_SLEEP {
-                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                    let mut rng = CounterRng::new(self.jobs.keys[idx], slot, Phase::Feedback);
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut rng);
                 }
                 let window_over = slot + 1 >= spec.deadline;
                 let finished = self.jobs.outcomes[idx].is_some()
@@ -1500,7 +1652,8 @@ impl Engine {
                 let spec = self.jobs.specs[idx];
                 let ctx = self.scratch.ctxs[v];
                 if code != CODE_SLEEP {
-                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                    let mut rng = CounterRng::new(self.jobs.keys[idx], slot, Phase::Feedback);
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut rng);
                 }
                 if self.jobs.outcomes[idx].is_some() || slot + 1 >= spec.deadline {
                     if let Some((tx, li)) = self.duty.deregister(idx, slot) {
@@ -1606,7 +1759,8 @@ impl Engine {
                         aligned_time: aligned_clock.then_some(slot),
                         probed,
                     };
-                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut self.jobs.rngs[idx]);
+                    let mut rng = CounterRng::new(self.jobs.keys[idx], slot, Phase::Feedback);
+                    self.jobs.protocols[idx].on_feedback(&ctx, &feedback, &mut rng);
                     if probed {
                         // The drain pass walks the polled snapshot; fanned-
                         // out listeners may have emitted events too.
@@ -1812,6 +1966,7 @@ impl Drop for Engine {
             event_scratch: std::mem::take(&mut self.event_scratch),
             cohorts: std::mem::take(&mut self.cohorts),
             duty: std::mem::take(&mut self.duty),
+            kernel: std::mem::take(&mut self.kernel),
         };
         carcass.clear();
         arena::stash(carcass);
@@ -2242,6 +2397,42 @@ mod tests {
             if let JobOutcome::Success { slot } = o {
                 assert!(*slot < 4_000, "job {id} success out of window");
             }
+        }
+    }
+
+    #[test]
+    fn vectorized_mode_is_bit_identical_to_exact_smoke() {
+        // Full grid coverage (protocols × adversaries × scheduling) lives
+        // in tests/kernel_differential.rs; this pins the basic contract
+        // close to the engine: same outcomes, counts, accesses, and
+        // slots_run for a Bernoulli population, per seed.
+        struct Bern(f64);
+        impl Protocol for Bern {
+            fn act(&mut self, ctx: &JobCtx, rng: &mut dyn RngCore) -> Action {
+                if rand::Rng::gen_bool(rng, self.0) {
+                    Action::Transmit(Payload::Data(ctx.id))
+                } else {
+                    Action::Sleep
+                }
+            }
+            fn cohort_tx(&self, _ctx: &JobCtx) -> Option<CohortTx> {
+                Some(CohortTx::Constant { p: self.0 })
+            }
+        }
+        for seed in 0..5u64 {
+            let run = |config: EngineConfig| {
+                let mut e = Engine::new(config, seed);
+                for i in 0..60u32 {
+                    e.add_job(JobSpec::new(i, u64::from(i) % 7, 600), Box::new(Bern(0.02)));
+                }
+                e.run()
+            };
+            let exact = run(EngineConfig::default());
+            let vector = run(EngineConfig::default().vectorized());
+            assert_eq!(exact.outcomes(), vector.outcomes(), "seed {seed}");
+            assert_eq!(exact.counts, vector.counts, "seed {seed}");
+            assert_eq!(exact.accesses, vector.accesses, "seed {seed}");
+            assert_eq!(exact.slots_run, vector.slots_run, "seed {seed}");
         }
     }
 

@@ -1,0 +1,511 @@
+//! The vectorized slot kernel behind [`Fidelity::Vectorized`].
+//!
+//! Jobs whose protocol exposes a [`CohortTx`] profile are lifted out of
+//! the per-job dispatch loop into two flat structures:
+//!
+//! - **Bernoulli buckets** ([`CohortTx::Constant`]): jobs sharing
+//!   `(p, deadline)` sit in one bucket as parallel `keys`/`jobs` lanes
+//!   with a 64-lane-per-word liveness bitmask. Each slot the kernel
+//!   evaluates the counter-based draw `replay_bernoulli(key, slot, p)`
+//!   for every live lane in a tight pass — no protocol calls, no
+//!   per-job state, no branches on dead lanes beyond the mask.
+//! - **One-shot calendar** ([`CohortTx::OneShot`]): the single
+//!   transmission slot is precomputed at activation from the same pure
+//!   draw the exact path's `on_activate` makes, and pushed into a
+//!   min-heap keyed by that slot. Due entries pop in O(log n); slots
+//!   with no due entry cost a peek.
+//!
+//! Because every draw is a pure function of `(job_key, slot, phase)`
+//! (see [`crate::crng`]), the kernel's transmission set each slot is
+//! *bit-identical* to what the exact path would produce — the
+//! differential suite in `tests/kernel_differential.rs` pins this
+//! across the full protocol × adversary grid — and the Bernoulli pass
+//! can be split across worker threads with identical results for any
+//! partitioning (`tests/partition_invariance.rs`).
+//!
+//! [`Fidelity::Vectorized`]: crate::engine::Fidelity::Vectorized
+//! [`CohortTx`]: crate::engine::CohortTx
+//! [`CohortTx::Constant`]: crate::engine::CohortTx::Constant
+//! [`CohortTx::OneShot`]: crate::engine::CohortTx::OneShot
+
+use crate::crng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Minimum live Bernoulli lanes before the kernel bothers spawning
+/// worker threads for a sharded pass; below this the spawn overhead
+/// dwarfs the draw work.
+const PARALLEL_MIN_LANES: usize = 256;
+
+/// One `(p, deadline)` class of constant-probability transmitters.
+struct BernBucket {
+    /// Per-slot transmission probability shared by every lane.
+    p: f64,
+    /// `p.to_bits()`, the bucket-identity half of the grouping key.
+    p_bits: u64,
+    /// Common deadline: the whole bucket expires at this slot.
+    deadline: u64,
+    /// Per-lane counter keys, parallel to `jobs`.
+    keys: Vec<u64>,
+    /// Per-lane job indices, parallel to `keys`.
+    jobs: Vec<u32>,
+    /// Liveness bitmask: bit `i` of word `i / 64` is lane `i`. Cleared
+    /// on delivery; lanes are never compacted.
+    alive: Vec<u64>,
+    /// Count of set bits in `alive`.
+    live: usize,
+}
+
+impl BernBucket {
+    /// Evaluate the slot's Bernoulli draws for lanes in the word range
+    /// `[word_lo, word_hi)`, appending transmitting job indices to
+    /// `out`. Pure with respect to the bucket (no mutation), so ranges
+    /// can be evaluated concurrently.
+    fn collect_range(&self, slot: u64, word_lo: usize, word_hi: usize, out: &mut Vec<u32>) {
+        for wi in word_lo..word_hi {
+            let word = self.alive[wi];
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            let mut tx = if word.count_ones() >= 32 && base + 64 <= self.keys.len() {
+                // Dense word: draw all 64 lanes branchlessly, mask after.
+                let mut bits = 0u64;
+                for b in 0..64 {
+                    let hit = crng::replay_bernoulli(self.keys[base + b], slot, self.p);
+                    bits |= u64::from(hit) << b;
+                }
+                bits & word
+            } else {
+                // Sparse word: draw only the set bits.
+                let mut bits = 0u64;
+                let mut rest = word;
+                while rest != 0 {
+                    let b = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if crng::replay_bernoulli(self.keys[base + b], slot, self.p) {
+                        bits |= 1u64 << b;
+                    }
+                }
+                bits
+            };
+            while tx != 0 {
+                let b = tx.trailing_zeros() as usize;
+                tx &= tx - 1;
+                out.push(self.jobs[base + b]);
+            }
+        }
+    }
+}
+
+/// Where a kernel-managed job lives, for O(1) delivery handling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Home {
+    /// Not kernel-managed (exact-path job, or never inserted).
+    None,
+    /// Lane `.1` of Bernoulli bucket `.0`.
+    Bern(u32, u32),
+    /// In the one-shot calendar.
+    Shot,
+}
+
+/// The vectorized slot kernel: batched Bernoulli buckets plus a
+/// one-shot transmission calendar. Owned by the engine; inert (and
+/// allocation-free) unless the run's fidelity is `Vectorized`.
+pub(crate) struct SlotKernel {
+    berns: Vec<BernBucket>,
+    /// One-shot calendar: `(transmission slot, job index)` min-heap.
+    shots: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Pending (undelivered, unexpired) one-shot members per deadline.
+    /// A fired-but-collided one-shot stays pending until its deadline —
+    /// the exact path likewise parks the job to `deadline - 1`, keeping
+    /// it in live-job accounting and extending the run to its deadline.
+    shot_live: BTreeMap<u64, u64>,
+    /// Per-job home, indexed by job index.
+    homes: Vec<Home>,
+    /// Total pending kernel-managed jobs (bern live + one-shot live).
+    pending: usize,
+    /// Total live Bernoulli lanes across buckets.
+    bern_live: usize,
+    /// Worker shards for the Bernoulli pass (`<= 1` = inline).
+    shards: usize,
+    /// Per-shard output staging for the threaded pass.
+    shard_out: Vec<Vec<u32>>,
+}
+
+impl Default for SlotKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SlotKernel {
+    pub(crate) fn new() -> Self {
+        Self {
+            berns: Vec::new(),
+            shots: BinaryHeap::new(),
+            shot_live: BTreeMap::new(),
+            homes: Vec::new(),
+            pending: 0,
+            bern_live: 0,
+            shards: 1,
+            shard_out: Vec::new(),
+        }
+    }
+
+    /// Reset for a run over `n_jobs` jobs with the given shard count.
+    pub(crate) fn prepare(&mut self, n_jobs: usize, shards: usize) {
+        self.clear();
+        self.homes.resize(n_jobs, Home::None);
+        self.shards = shards.max(1);
+        self.shard_out.resize_with(self.shards, Vec::new);
+    }
+
+    /// Drop all state (the engine's reset contract).
+    pub(crate) fn clear(&mut self) {
+        self.berns.clear();
+        self.shots.clear();
+        self.shot_live.clear();
+        self.homes.clear();
+        self.pending = 0;
+        self.bern_live = 0;
+        self.shards = 1;
+        self.shard_out.clear();
+    }
+
+    /// Pending kernel-managed jobs (counted in `live_jobs` traces and
+    /// the run's termination condition).
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Live Bernoulli lanes: while nonzero, every slot needs a draw
+    /// pass, so the engine must not gap-skip.
+    pub(crate) fn bern_live(&self) -> usize {
+        self.bern_live
+    }
+
+    /// The earliest scheduled one-shot transmission, if any.
+    pub(crate) fn next_tx(&self) -> Option<u64> {
+        self.shots.peek().map(|Reverse((s, _))| *s)
+    }
+
+    /// The last live slot (`deadline - 1`) of the earliest-expiring
+    /// pending one-shot, if any. The engine's gap-skip runs its landing
+    /// slot, so this mirrors the exact path precisely: there the parked
+    /// job wakes at `deadline - 1`, sits out that one slot, and retires
+    /// at its deadline — the run extends exactly that far, no further.
+    pub(crate) fn next_expiry(&self) -> Option<u64> {
+        self.shot_live.first_key_value().map(|(&d, _)| d - 1)
+    }
+
+    /// Σ live·p over Bernoulli buckets: the kernel's contribution to
+    /// the slot's declared contention `C(t)`.
+    pub(crate) fn declared(&self) -> f64 {
+        self.berns.iter().map(|b| b.live as f64 * b.p).sum()
+    }
+
+    /// Admit a constant-probability job at activation.
+    pub(crate) fn insert_bern(&mut self, idx: u32, key: u64, p: f64, deadline: u64) {
+        let p_bits = p.to_bits();
+        let bi = match self
+            .berns
+            .iter()
+            .position(|b| b.p_bits == p_bits && b.deadline == deadline)
+        {
+            Some(bi) => bi,
+            None => {
+                self.berns.push(BernBucket {
+                    p,
+                    p_bits,
+                    deadline,
+                    keys: Vec::new(),
+                    jobs: Vec::new(),
+                    alive: Vec::new(),
+                    live: 0,
+                });
+                self.berns.len() - 1
+            }
+        };
+        let bucket = &mut self.berns[bi];
+        let lane = bucket.keys.len();
+        bucket.keys.push(key);
+        bucket.jobs.push(idx);
+        if lane.is_multiple_of(64) {
+            bucket.alive.push(0);
+        }
+        bucket.alive[lane / 64] |= 1u64 << (lane % 64);
+        bucket.live += 1;
+        self.bern_live += 1;
+        self.pending += 1;
+        self.homes[idx as usize] = Home::Bern(bi as u32, lane as u32);
+    }
+
+    /// Admit a one-shot job at activation: replay the activation draw
+    /// the exact path's `on_activate` would make and calendar the
+    /// resulting transmission slot. The job pends until delivery or its
+    /// deadline — *not* its transmission slot: a fired-but-collided
+    /// one-shot remains a live (if silent) job until its window closes,
+    /// exactly as the exact path's parked job does.
+    pub(crate) fn insert_shot(
+        &mut self,
+        idx: u32,
+        key: u64,
+        release: u64,
+        window: u64,
+        deadline: u64,
+    ) {
+        let tx = crng::replay_oneshot(key, release, window);
+        self.shots.push(Reverse((tx, idx)));
+        *self.shot_live.entry(deadline).or_insert(0) += 1;
+        self.pending += 1;
+        self.homes[idx as usize] = Home::Shot;
+    }
+
+    /// True if `idx` is currently kernel-managed.
+    pub(crate) fn is_managed(&self, idx: usize) -> bool {
+        self.homes.get(idx).is_some_and(|h| *h != Home::None)
+    }
+
+    /// Retire expired state at the top of slot `slot`: buckets and
+    /// one-shot members whose deadline has arrived stop pending (their
+    /// outcomes are settled by the engine's end-of-run sweep, which
+    /// defaults untouched jobs to `Missed` — same as the exact path).
+    pub(crate) fn expire(&mut self, slot: u64) {
+        for bucket in &mut self.berns {
+            if bucket.deadline <= slot && bucket.live > 0 {
+                for idx in &bucket.jobs {
+                    self.homes[*idx as usize] = Home::None;
+                }
+                self.bern_live -= bucket.live;
+                self.pending -= bucket.live;
+                bucket.live = 0;
+                bucket.alive.iter_mut().for_each(|w| *w = 0);
+            }
+        }
+        while let Some((&deadline, _)) = self.shot_live.first_key_value() {
+            if deadline > slot {
+                break;
+            }
+            let (_, n) = self.shot_live.pop_first().expect("checked nonempty");
+            self.pending -= n as usize;
+        }
+        // Calendar entries need no sweep: a one-shot's transmission slot
+        // precedes its deadline and the engine never gap-skips past a
+        // pending transmission, so every entry pops in `collect` at
+        // exactly its slot, strictly before its deadline can expire it.
+    }
+
+    /// Record delivery of job `idx`: its lane goes dead (Bernoulli) or
+    /// its deadline's pending count drops (one-shot).
+    pub(crate) fn on_delivery(&mut self, idx: usize, deadline: u64) {
+        match self.homes[idx] {
+            Home::None => {}
+            Home::Bern(bi, lane) => {
+                let bucket = &mut self.berns[bi as usize];
+                let (wi, bit) = (lane as usize / 64, lane as usize % 64);
+                debug_assert_ne!(bucket.alive[wi] & (1 << bit), 0, "double delivery");
+                bucket.alive[wi] &= !(1u64 << bit);
+                bucket.live -= 1;
+                self.bern_live -= 1;
+                self.pending -= 1;
+                self.homes[idx] = Home::None;
+            }
+            Home::Shot => {
+                let n = self
+                    .shot_live
+                    .get_mut(&deadline)
+                    .expect("delivered one-shot must be pending");
+                *n -= 1;
+                if *n == 0 {
+                    self.shot_live.remove(&deadline);
+                }
+                self.pending -= 1;
+                self.homes[idx] = Home::None;
+            }
+        }
+    }
+
+    /// Evaluate slot `slot`: pop due one-shot transmissions and run the
+    /// Bernoulli pass, appending transmitting job indices to `out`.
+    ///
+    /// The output *set* is a pure function of `(slot, keys)`; its order
+    /// is unspecified (the engine only counts transmitters and resolves
+    /// the unique single transmitter, so order is unobservable).
+    pub(crate) fn collect(&mut self, slot: u64, out: &mut Vec<u32>) {
+        while let Some(&Reverse((s, idx))) = self.shots.peek() {
+            if s > slot {
+                break;
+            }
+            self.shots.pop();
+            // A calendar entry pops exactly on its slot: the engine's
+            // gap-skip treats `next_tx` as an event, and a shot resolves
+            // (delivery or expiry) only at or after its transmission.
+            debug_assert_eq!(s, slot, "one-shot transmission slot was skipped");
+            debug_assert_eq!(self.homes[idx as usize], Home::Shot, "stale calendar entry");
+            out.push(idx);
+        }
+        if self.bern_live == 0 {
+            return;
+        }
+        let shards = self.shards;
+        if shards <= 1 || self.bern_live < PARALLEL_MIN_LANES.max(shards * 64) {
+            for bucket in &self.berns {
+                if bucket.live > 0 && bucket.deadline > slot {
+                    bucket.collect_range(slot, 0, bucket.alive.len(), out);
+                }
+            }
+            return;
+        }
+        let berns = &self.berns;
+        let shard_out = &mut self.shard_out[..shards];
+        std::thread::scope(|scope| {
+            for (i, buf) in shard_out.iter_mut().enumerate() {
+                buf.clear();
+                scope.spawn(move || {
+                    for bucket in berns {
+                        if bucket.live == 0 || bucket.deadline <= slot {
+                            continue;
+                        }
+                        let words = bucket.alive.len();
+                        let lo = words * i / shards;
+                        let hi = words * (i + 1) / shards;
+                        bucket.collect_range(slot, lo, hi, buf);
+                    }
+                });
+            }
+        });
+        for buf in shard_out {
+            out.append(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD)
+            .collect()
+    }
+
+    #[test]
+    fn bern_pass_matches_scalar_replay() {
+        let mut k = SlotKernel::new();
+        let ks = keys(100);
+        k.prepare(100, 1);
+        for (i, &key) in ks.iter().enumerate() {
+            k.insert_bern(i as u32, key, 0.25, 1000);
+        }
+        for slot in 0..50 {
+            let mut got = Vec::new();
+            k.collect(slot, &mut got);
+            got.sort_unstable();
+            let want: Vec<u32> = (0..100u32)
+                .filter(|&i| crng::replay_bernoulli(ks[i as usize], slot, 0.25))
+                .collect();
+            assert_eq!(got, want, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn sharded_pass_is_partition_invariant() {
+        let n = 1024u64;
+        let ks = keys(n);
+        let reference: Vec<Vec<u32>> = {
+            let mut k = SlotKernel::new();
+            k.prepare(n as usize, 1);
+            for (i, &key) in ks.iter().enumerate() {
+                k.insert_bern(i as u32, key, 0.1, 10_000);
+            }
+            (0..20)
+                .map(|slot| {
+                    let mut out = Vec::new();
+                    k.collect(slot, &mut out);
+                    out.sort_unstable();
+                    out
+                })
+                .collect()
+        };
+        for shards in [2usize, 3, 8] {
+            let mut k = SlotKernel::new();
+            k.prepare(n as usize, shards);
+            for (i, &key) in ks.iter().enumerate() {
+                k.insert_bern(i as u32, key, 0.1, 10_000);
+            }
+            for (slot, want) in reference.iter().enumerate() {
+                let mut out = Vec::new();
+                k.collect(slot as u64, &mut out);
+                out.sort_unstable();
+                assert_eq!(&out, want, "shards {shards} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn oneshot_calendar_fires_once_at_replayed_slot() {
+        let mut k = SlotKernel::new();
+        k.prepare(4, 1);
+        let ks = keys(4);
+        for (i, &key) in ks.iter().enumerate() {
+            k.insert_shot(i as u32, key, 10, 32, 42);
+        }
+        assert_eq!(k.pending(), 4);
+        assert_eq!(k.next_expiry(), Some(41));
+        let mut fired = vec![Vec::new(); 4];
+        for slot in 10..42 {
+            k.expire(slot);
+            let mut out = Vec::new();
+            k.collect(slot, &mut out);
+            for idx in out {
+                fired[idx as usize].push(slot);
+            }
+        }
+        for (i, slots) in fired.iter().enumerate() {
+            let want = crng::replay_oneshot(ks[i], 10, 32);
+            assert_eq!(slots, &vec![want], "job {i}");
+        }
+        // Undelivered shots pend (as the exact path's parked jobs stay
+        // live) until their deadline expires them.
+        assert_eq!(k.pending(), 4);
+        k.expire(42);
+        assert_eq!(k.pending(), 0);
+        assert_eq!(k.next_expiry(), None);
+    }
+
+    #[test]
+    fn delivery_and_expiry_zero_out_pending() {
+        let mut k = SlotKernel::new();
+        k.prepare(3, 1);
+        k.insert_bern(0, 1, 0.5, 100);
+        k.insert_bern(1, 2, 0.5, 100);
+        k.insert_shot(2, 3, 0, 64, 64);
+        assert_eq!(k.pending(), 3);
+        assert_eq!(k.bern_live(), 2);
+        k.on_delivery(0, 100);
+        assert!(!k.is_managed(0));
+        assert!(k.is_managed(1));
+        assert_eq!(k.pending(), 2);
+        assert_eq!(k.bern_live(), 1);
+        k.on_delivery(2, 64);
+        assert_eq!(k.pending(), 1);
+        assert_eq!(k.next_expiry(), None);
+        k.expire(100);
+        assert_eq!(k.pending(), 0);
+        assert_eq!(k.bern_live(), 0);
+    }
+
+    #[test]
+    fn declared_tracks_live_lanes() {
+        let mut k = SlotKernel::new();
+        k.prepare(4, 1);
+        for i in 0..4 {
+            k.insert_bern(i, u64::from(i) + 7, 0.25, 50);
+        }
+        assert!((k.declared() - 1.0).abs() < 1e-12);
+        k.on_delivery(1, 50);
+        assert!((k.declared() - 0.75).abs() < 1e-12);
+    }
+}

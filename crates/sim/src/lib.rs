@@ -67,10 +67,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crng;
 pub mod engine;
 pub mod gantt;
 pub mod jamming;
 pub mod job;
+pub(crate) mod kernel;
 pub mod message;
 pub mod metrics;
 pub mod probe;

@@ -82,6 +82,16 @@ impl SeedSeq {
     pub fn trial(&self, trial: u64) -> SeedSeq {
         SeedSeq::new(self.derive(StreamLabel::Trial, trial))
     }
+
+    /// The per-trial counter-RNG key for job `id`.
+    ///
+    /// This is the `key` fed to [`crate::crng::CounterRng`] for every
+    /// protocol-visible draw the job makes; together with a slot number
+    /// and a [`crate::crng::Phase`] it pins down any single draw the
+    /// engine ever made for that job (see DESIGN.md §3f).
+    pub fn job_key(&self, id: u64) -> u64 {
+        self.derive(StreamLabel::Job, id)
+    }
 }
 
 /// Draw from `Binomial(n, p)` — the number of successes in `n` independent

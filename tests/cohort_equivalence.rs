@@ -15,54 +15,13 @@
 //!   also exact (sequential-hazard decomposition of a uniform one-shot
 //!   placement), so its intervals must agree just as tightly.
 
+mod testkit;
+
 use contention_deadlines::baselines::FixedProbability;
 use contention_deadlines::protocols::Uniform;
-use contention_deadlines::sim::engine::{Engine, EngineConfig, Fidelity, Protocol};
+use contention_deadlines::sim::engine::{Engine, EngineConfig, Fidelity};
 use contention_deadlines::sim::job::JobSpec;
-use contention_deadlines::sim::runner::run_trials;
-use contention_deadlines::stats::Proportion;
-
-/// Total successes over total jobs for `trials` independent runs of the
-/// `n`-job population built by `factory`, under the given fidelity.
-fn success_proportion(
-    fidelity: Fidelity,
-    trials: u64,
-    master_seed: u64,
-    n: u32,
-    window: u64,
-    factory: impl Fn(&JobSpec) -> Box<dyn Protocol> + Sync,
-) -> Proportion {
-    let config = EngineConfig {
-        fidelity,
-        ..EngineConfig::default()
-    };
-    let hits: u64 = run_trials(trials, master_seed, |_, seed| {
-        let mut e = Engine::new(config.clone(), seed);
-        for i in 0..n {
-            let spec = JobSpec::new(i, 0, window);
-            e.add_job(spec, factory(&spec));
-        }
-        e.run().successes() as u64
-    })
-    .into_iter()
-    .map(|t| t.value)
-    .sum();
-    Proportion::new(hits, trials * u64::from(n))
-}
-
-/// Assert the Wilson intervals at quantile `z` overlap, with a diagnostic
-/// that prints both intervals on failure.
-fn assert_wilson_overlap(label: &str, a: Proportion, b: Proportion, z: f64) {
-    let (alo, ahi) = a.wilson(z);
-    let (blo, bhi) = b.wilson(z);
-    assert!(
-        alo <= bhi && blo <= ahi,
-        "{label}: exact [{alo:.4}, {ahi:.4}] (p̂={:.4}) vs cohort \
-         [{blo:.4}, {bhi:.4}] (p̂={:.4}) do not overlap",
-        a.estimate(),
-        b.estimate(),
-    );
-}
+use testkit::{assert_wilson_overlap, success_proportion};
 
 #[test]
 fn aloha_cohort_matches_exact_tightly() {

@@ -1,0 +1,203 @@
+//! Differential testing of the vectorized slot kernel.
+//!
+//! [`Fidelity::Vectorized`] routes kernel-eligible jobs (those exposing a
+//! [`CohortTx`] profile) through batched counter-based draws instead of
+//! per-job protocol dispatch. Unlike cohort mode, the claim is **bit
+//! identity**: the kernel evaluates the exact same `(job_key, slot,
+//! phase)` positions the exact path's `gen_bool` / `gen_range` calls
+//! would, so outcomes, channel counts, per-job access counts, slots_run,
+//! and trace tallies must all match the exact engine bit-for-bit — per
+//! seed, per adversary, per scheduling mode.
+//!
+//! The grid: pure single-probability ALOHA, multi-bucket ALOHA, one-shot
+//! UNIFORM, and mixed kernel + exact-path populations, each crossed with
+//! the full jammer grid and both scheduling modes, plus a proptest over
+//! random populations. `declared_contention` is excluded as everywhere
+//! else (parked and kernel-managed jobs are not polled for diagnostics).
+//!
+//! [`Fidelity::Vectorized`]: contention_deadlines::sim::engine::Fidelity::Vectorized
+//! [`CohortTx`]: contention_deadlines::sim::engine::CohortTx
+
+mod testkit;
+
+use contention_deadlines::baselines::{FixedProbability, Sawtooth};
+use contention_deadlines::protocols::Uniform;
+use contention_deadlines::sim::engine::{Engine, EngineConfig};
+use contention_deadlines::sim::job::JobSpec;
+use proptest::prelude::*;
+use testkit::{assert_config_equiv, jammer_pick, jammers, staggered};
+
+/// Exact vs vectorized under both scheduling modes, full observables.
+fn assert_kernel_equiv<F>(label: &str, seed: u64, jammer_name: &str, setup: F)
+where
+    F: Fn(&mut Engine),
+{
+    let grid = jammers();
+    let (jname, jammer) = grid
+        .iter()
+        .find(|(n, _)| *n == jammer_name)
+        .expect("jammer name in grid");
+    assert_config_equiv(
+        &format!("{label} jam={jname} event"),
+        EngineConfig::default(),
+        EngineConfig::default().vectorized(),
+        jammer.as_ref(),
+        seed,
+        &setup,
+    );
+    assert_config_equiv(
+        &format!("{label} jam={jname} dense"),
+        EngineConfig::default().dense(),
+        EngineConfig::default().vectorized().dense(),
+        jammer.as_ref(),
+        seed,
+        &setup,
+    );
+}
+
+#[test]
+fn aloha_single_bucket_matches_exact() {
+    for (jname, _) in jammers() {
+        for seed in 0..4u64 {
+            assert_kernel_equiv("aloha", seed, jname, |e| {
+                for spec in staggered(24, 37, 1 << 10) {
+                    e.add_job(spec, Box::new(FixedProbability::new(0.04)));
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn aloha_multi_bucket_matches_exact() {
+    // Three probabilities and two deadline classes: six kernel buckets,
+    // exercising bucket lookup, per-bucket expiry, and dense/sparse word
+    // paths as lanes die off.
+    let ps = [0.01f64, 0.05, 0.12];
+    for (jname, _) in jammers() {
+        for seed in 0..3u64 {
+            assert_kernel_equiv("aloha-buckets", seed, jname, |e| {
+                for i in 0..30u32 {
+                    let r = u64::from(i % 5) * 11;
+                    let w = if i % 2 == 0 { 600 } else { 900 };
+                    e.add_job(
+                        JobSpec::new(i, r, r + w),
+                        Box::new(FixedProbability::new(ps[i as usize % 3])),
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn uniform_oneshot_matches_exact() {
+    for (jname, _) in jammers() {
+        for seed in 0..4u64 {
+            assert_kernel_equiv("uniform-oneshot", seed, jname, |e| {
+                for spec in staggered(16, 53, 1 << 9) {
+                    e.add_job(spec, Box::new(Uniform::single()));
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn mixed_kernel_and_exact_population_matches_exact() {
+    // Kernel-managed jobs sharing the channel with exact-path protocols
+    // (including Uniform k=2, which is one-shot-ineligible): collisions,
+    // single-transmitter resolution, and feedback fan-out must all see
+    // the same channel in both modes.
+    for (jname, _) in jammers() {
+        for seed in 0..4u64 {
+            assert_kernel_equiv("mixed", seed, jname, |e| {
+                let w = 1u64 << 10;
+                let mut id = 0u32;
+                let mut add =
+                    |e: &mut Engine,
+                     r: u64,
+                     p: Box<dyn contention_deadlines::sim::engine::Protocol>| {
+                        e.add_job(JobSpec::new(id, r, r + w), p);
+                        id += 1;
+                    };
+                add(e, 0, Box::new(FixedProbability::new(0.03)));
+                add(e, 5, Box::new(Uniform::single()));
+                add(e, 13, Box::new(Sawtooth::new()));
+                add(e, 13, Box::new(Uniform::new(2)));
+                add(e, 40, Box::new(FixedProbability::new(0.08)));
+                add(e, 64, Box::new(Uniform::single()));
+                add(e, 100, Box::new(FixedProbability::new(0.03)));
+            });
+        }
+    }
+}
+
+#[test]
+fn kernel_engages_for_eligible_jobs() {
+    // Guard against silently falling back to the exact path: a vectorized
+    // run must *work* even though its eligible protocols are never polled.
+    // A protocol that panics on any callback after construction proves the
+    // kernel actually owns the job.
+    use contention_deadlines::sim::engine::{Action, CohortTx, JobCtx, Protocol};
+    use rand::RngCore;
+
+    struct MustVectorize(f64);
+    impl Protocol for MustVectorize {
+        fn on_activate(&mut self, _ctx: &JobCtx, _rng: &mut dyn RngCore) {
+            panic!("kernel-eligible job was activated on the exact path");
+        }
+        fn act(&mut self, _ctx: &JobCtx, _rng: &mut dyn RngCore) -> Action {
+            panic!("kernel-eligible job was polled");
+        }
+        fn cohort_tx(&self, _ctx: &JobCtx) -> Option<CohortTx> {
+            Some(CohortTx::Constant { p: self.0 })
+        }
+    }
+
+    let mut e = Engine::new(EngineConfig::default().vectorized(), 11);
+    for i in 0..40u32 {
+        e.add_job(JobSpec::new(i, 0, 400), Box::new(MustVectorize(0.05)));
+    }
+    let r = e.run();
+    assert!(r.successes() > 0, "kernel produced no deliveries");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(testkit::cases(24)))]
+
+    /// Random populations mixing kernel-eligible and exact-path
+    /// protocols, random jammers, both scheduling modes: vectorized must
+    /// stay bit-identical to exact everywhere.
+    #[test]
+    fn random_population_kernel_equivalence(
+        seed in 0u64..1_000_000,
+        n in 1usize..12,
+        log_w in 6u32..11,
+        jam_kind in 0usize..8,
+        dense_pick in 0usize..2,
+        proto_picks in proptest::collection::vec(0usize..6, 12..13),
+        releases in proptest::collection::vec(0u64..256, 12..13),
+    ) {
+        let w = 1u64 << log_w;
+        let jammer = jammer_pick(jam_kind);
+        let base = if dense_pick == 1 {
+            EngineConfig::default().dense()
+        } else {
+            EngineConfig::default()
+        };
+        assert_config_equiv(
+            "proptest-kernel",
+            base.clone(),
+            base.vectorized(),
+            jammer.as_ref(),
+            seed,
+            |e| {
+                for i in 0..n {
+                    let spec = JobSpec::new(i as u32, releases[i], releases[i] + w);
+                    e.add_job(spec, testkit::protocol_pick(proto_picks[i]));
+                }
+            },
+        );
+    }
+}

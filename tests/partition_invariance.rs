@@ -1,0 +1,144 @@
+//! Partition invariance of the sharded Bernoulli pass.
+//!
+//! Because every kernel draw is a pure function of `(job_key, slot,
+//! phase)` — no sequential stream threads through the workers — the
+//! vectorized engine may split one trial's Bernoulli pass across any
+//! number of worker shards and produce the *same bytes*: not just equal
+//! outcomes, the entire serialized [`SimReport`] (timing zeroed) must be
+//! identical for 1, 2, and 8 shards. This is the property that makes
+//! splitting a single large trial across threads sound, and it is the
+//! reason the counter-based generator exists at all.
+//!
+//! Populations are sized past the kernel's `PARALLEL_MIN_LANES`
+//! threshold (256 lanes, and ≥ 64 lanes per shard) so the 8-shard run
+//! genuinely spawns workers rather than falling back to the inline pass.
+//!
+//! [`SimReport`]: contention_deadlines::sim::metrics::SimReport
+
+mod testkit;
+
+use contention_deadlines::baselines::FixedProbability;
+use contention_deadlines::protocols::Uniform;
+use contention_deadlines::sim::engine::{Engine, EngineConfig};
+use contention_deadlines::sim::job::JobSpec;
+use contention_deadlines::sim::metrics::SimReport;
+
+/// Run one vectorized trial with the given shard count and serialize the
+/// full report with wall-clock timing zeroed (the only field that may
+/// legitimately differ between runs).
+fn report_bytes<F>(shards: usize, seed: u64, setup: &F) -> String
+where
+    F: Fn(&mut Engine),
+{
+    let config = EngineConfig::default()
+        .vectorized()
+        .with_kernel_shards(shards)
+        .with_trace();
+    let mut engine = Engine::new(config, seed);
+    setup(&mut engine);
+    let mut report: SimReport = engine.run();
+    report.engine_nanos = 0;
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+fn assert_partition_invariant<F>(label: &str, seed: u64, setup: F)
+where
+    F: Fn(&mut Engine),
+{
+    let reference = report_bytes(1, seed, &setup);
+    for shards in [2usize, 8] {
+        let sharded = report_bytes(shards, seed, &setup);
+        assert_eq!(
+            reference, sharded,
+            "{label}: serialized report diverges between 1 and {shards} shards (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn dense_aloha_trial_is_shard_count_invariant() {
+    // 2048 lanes in one bucket: the 8-shard pass spans 32 mask words,
+    // every shard gets whole words, and the dense branchless path runs.
+    for seed in 0..3u64 {
+        assert_partition_invariant("dense-aloha", seed, |e| {
+            for i in 0..2048u32 {
+                e.add_job(
+                    JobSpec::new(i, 0, 4096),
+                    Box::new(FixedProbability::new(1.0 / 1024.0)),
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn multi_bucket_trial_is_shard_count_invariant() {
+    // Buckets of uneven sizes (1536 / 384 / 128 lanes): shard boundaries
+    // land mid-bucket and on partial trailing words in every bucket.
+    let ps = [1.0 / 2048.0, 1.0 / 256.0, 1.0 / 64.0];
+    for seed in 0..3u64 {
+        assert_partition_invariant("multi-bucket", seed, |e| {
+            for i in 0..2048u32 {
+                let class = match i {
+                    0..=1535 => 0,
+                    1536..=1919 => 1,
+                    _ => 2,
+                };
+                let release = u64::from(i % 128);
+                e.add_job(
+                    JobSpec::new(i, release, release + 4096),
+                    Box::new(FixedProbability::new(ps[class])),
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn mixed_shot_and_bern_trial_is_shard_count_invariant() {
+    // One-shot calendar traffic interleaved with a large Bernoulli
+    // population: the calendar is shard-independent by construction, but
+    // its transmissions perturb the channel the sharded pass feeds into.
+    for seed in 0..3u64 {
+        assert_partition_invariant("mixed-shot-bern", seed, |e| {
+            for i in 0..1024u32 {
+                e.add_job(
+                    JobSpec::new(i, 0, 2048),
+                    Box::new(FixedProbability::new(1.0 / 512.0)),
+                );
+            }
+            for i in 1024..1280u32 {
+                let release = u64::from(i % 64) * 3;
+                e.add_job(
+                    JobSpec::new(i, release, release + 2048),
+                    Box::new(Uniform::single()),
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn shard_count_does_not_leak_into_exact_equivalence() {
+    // The sharded run must stay bit-identical to the *exact* engine too,
+    // not merely self-consistent: partition invariance composes with the
+    // kernel differential guarantee.
+    use testkit::assert_config_equiv;
+    for seed in 0..2u64 {
+        assert_config_equiv(
+            "sharded-vs-exact",
+            EngineConfig::default(),
+            EngineConfig::default().vectorized().with_kernel_shards(8),
+            None,
+            seed,
+            |e| {
+                for i in 0..640u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 2048),
+                        Box::new(FixedProbability::new(1.0 / 256.0)),
+                    );
+                }
+            },
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! not polled for their diagnostic `tx_probability`, so the per-slot
 //! contention sum legitimately differs between modes.
 
+mod testkit;
+
 use contention_deadlines::baselines::scheduled::scheduled_protocols;
 use contention_deadlines::baselines::windowed::{Schedule, WindowedBackoff};
 use contention_deadlines::baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
@@ -20,16 +22,14 @@ use contention_deadlines::protocols::{
     AlignedParams, AlignedProtocol, PunctualParams, PunctualProtocol, Uniform,
 };
 use contention_deadlines::sim::engine::{Engine, EngineConfig, Protocol};
-use contention_deadlines::sim::jamming::{
-    BudgetedJammer, GilbertElliott, JamPolicy, Jammer, ReactiveJammer,
-};
+use contention_deadlines::sim::jamming::{GilbertElliott, Jammer, ReactiveJammer};
 use contention_deadlines::sim::job::JobSpec;
 use contention_deadlines::sim::metrics::SimReport;
-use contention_deadlines::sim::trace::tally;
 use contention_deadlines::workloads::generators::{aligned_classes, batch, poisson, ClassSpec};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use testkit::{assert_config_equiv, jammer_pick, jammers, staggered};
 
 /// Run the same simulation under both scheduling modes and assert every
 /// non-diagnostic observable matches bit-for-bit.
@@ -37,90 +37,7 @@ fn assert_equiv<F>(label: &str, base: EngineConfig, jammer: Option<&Jammer>, see
 where
     F: Fn(&mut Engine),
 {
-    let run = |config: EngineConfig| -> SimReport {
-        let mut engine = Engine::new(config.with_trace(), seed);
-        if let Some(j) = jammer {
-            engine.set_jammer(j.clone());
-        }
-        setup(&mut engine);
-        engine.run()
-    };
-    let event = run(base.clone());
-    let dense = run(base.dense());
-
-    assert_eq!(
-        event.outcomes(),
-        dense.outcomes(),
-        "{label}: outcomes diverge (seed {seed})"
-    );
-    assert_eq!(
-        event.counts, dense.counts,
-        "{label}: slot counts diverge (seed {seed})"
-    );
-    assert_eq!(
-        event.accesses, dense.accesses,
-        "{label}: access counts diverge (seed {seed})"
-    );
-    assert_eq!(
-        event.slots_run, dense.slots_run,
-        "{label}: slots_run diverges (seed {seed})"
-    );
-    let (et, dt) = (
-        tally(event.trace.as_ref().unwrap()),
-        tally(dense.trace.as_ref().unwrap()),
-    );
-    assert_eq!(et, dt, "{label}: trace tallies diverge (seed {seed})");
-}
-
-/// The jammer grid: every stateless policy plus the stateful adversaries,
-/// including both idle-striking ones (`Random`, Gilbert–Elliott) that
-/// disable all-parked fast-forwarding and the stateful non-idle-striking
-/// reactive jammer that relies on the `on_silent_gap` replay contract.
-fn jammers() -> Vec<(&'static str, Option<Jammer>)> {
-    vec![
-        ("clean", None),
-        ("all", Some(Jammer::new(JamPolicy::AllSuccesses, 0.4))),
-        ("ctrl", Some(Jammer::new(JamPolicy::ControlOnly, 0.6))),
-        ("data", Some(Jammer::new(JamPolicy::DataOnly, 0.5))),
-        (
-            "random",
-            Some(Jammer::new(JamPolicy::Random { attempt: 0.1 }, 0.5)),
-        ),
-        (
-            "budget",
-            Some(Jammer::adaptive(
-                Box::new(BudgetedJammer::new(5, false)),
-                0.7,
-            )),
-        ),
-        (
-            "budget-data",
-            Some(Jammer::adaptive(
-                Box::new(BudgetedJammer::new(3, true)),
-                1.0,
-            )),
-        ),
-        (
-            "reactive",
-            Some(Jammer::adaptive(Box::new(ReactiveJammer::new(2, 16)), 0.8)),
-        ),
-        (
-            "bursty",
-            Some(Jammer::adaptive(
-                Box::new(GilbertElliott::new(0.05, 0.2)),
-                0.6,
-            )),
-        ),
-    ]
-}
-
-fn staggered(n: u32, spread: u64, w: u64) -> Vec<JobSpec> {
-    (0..n)
-        .map(|i| {
-            let r = u64::from(i) * spread % (w / 2);
-            JobSpec::new(i, r, r + w)
-        })
-        .collect()
+    assert_config_equiv(label, base.clone(), base.dense(), jammer, seed, setup);
 }
 
 #[test]
@@ -477,7 +394,7 @@ fn probe_sinks_byte_identical_across_modes() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(testkit::cases(24)))]
 
     /// Random mixed populations, windows, releases, and jammers: the two
     /// scheduling modes must agree on every observable.
@@ -491,16 +408,7 @@ proptest! {
         releases in proptest::collection::vec(0u64..512, 10..11),
     ) {
         let w = 1u64 << log_w;
-        let jammer = match jam_kind {
-            0 => None,
-            1 => Some(Jammer::new(JamPolicy::AllSuccesses, 0.3)),
-            2 => Some(Jammer::new(JamPolicy::ControlOnly, 0.5)),
-            3 => Some(Jammer::new(JamPolicy::DataOnly, 0.5)),
-            4 => Some(Jammer::new(JamPolicy::Random { attempt: 0.05 }, 0.5)),
-            5 => Some(Jammer::adaptive(Box::new(BudgetedJammer::new(4, false)), 0.6)),
-            6 => Some(Jammer::adaptive(Box::new(ReactiveJammer::new(1, 8)), 0.7)),
-            _ => Some(Jammer::adaptive(Box::new(GilbertElliott::new(0.1, 0.3)), 0.5)),
-        };
+        let jammer = jammer_pick(jam_kind);
         assert_equiv(
             "proptest-mixed",
             EngineConfig::default(),
@@ -509,17 +417,7 @@ proptest! {
             |e| {
                 for i in 0..n {
                     let spec = JobSpec::new(i as u32, releases[i], releases[i] + w);
-                    let protocol: Box<dyn Protocol> = match proto_picks[i] {
-                        0 => Box::new(Uniform::new(1)),
-                        1 => Box::new(Uniform::new(2)),
-                        2 => Box::new(Sawtooth::new()),
-                        3 => Box::new(BinaryExponentialBackoff::new()),
-                        4 => Box::new(WindowedBackoff::new(
-                            Schedule::Geometric { base: 2, first: 1 },
-                        )),
-                        _ => Box::new(FixedProbability::new(0.03)),
-                    };
-                    e.add_job(spec, protocol);
+                    e.add_job(spec, testkit::protocol_pick(proto_picks[i]));
                 }
             },
         );
@@ -548,17 +446,7 @@ proptest! {
         let setup = |e: &mut Engine| {
             for i in 0..n {
                 let spec = JobSpec::new(i as u32, releases[i], releases[i] + w);
-                let protocol: Box<dyn Protocol> = match proto_picks[i] {
-                    0 => Box::new(Uniform::new(1)),
-                    1 => Box::new(Uniform::new(2)),
-                    2 => Box::new(Sawtooth::new()),
-                    3 => Box::new(BinaryExponentialBackoff::new()),
-                    4 => Box::new(WindowedBackoff::new(
-                        Schedule::Geometric { base: 2, first: 1 },
-                    )),
-                    _ => Box::new(FixedProbability::new(0.03)),
-                };
-                e.add_job(spec, protocol);
+                e.add_job(spec, testkit::protocol_pick(proto_picks[i]));
             }
         };
         // The reused engine survives the whole batch, like one runner
