@@ -21,6 +21,13 @@
 //! as with the cohort row, `dense_slots_per_sec` holds the exact rate and
 //! `event_slots_per_sec` the kernel rate.
 //!
+//! Two further `mode: "cohort"` rows measure the aggregate class profiles
+//! (DESIGN.md §3g) on ALIGNED and PUNCTUAL batches at n = 10⁵ — exact vs
+//! cohort fidelity, event scheduling on both sides, with a hard ≥ 5×
+//! speedup floor — and two `mode: "cohort-only"` rows record single-rep
+//! throughput plus peak RSS at n = 10⁶, where no exact baseline is
+//! affordable (exact-side fields are zeroed there).
+//!
 //! Timing uses the engine's own `engine_nanos` (slot-loop wall time), so
 //! setup and report assembly are excluded. Each configuration runs
 //! `REPS` times per mode and the fastest rep is kept — standard practice
@@ -29,7 +36,7 @@
 use dcr_baselines::{BinaryExponentialBackoff, FixedProbability, Sawtooth};
 use dcr_core::punctual::PunctualParams;
 use dcr_core::uniform::Uniform;
-use dcr_core::PunctualProtocol;
+use dcr_core::{AlignedParams, AlignedProtocol, PunctualProtocol};
 use dcr_sim::engine::{Engine, EngineConfig, Fidelity, Protocol, Scheduling};
 use dcr_sim::job::JobSpec;
 use dcr_sim::metrics::SimReport;
@@ -63,6 +70,33 @@ struct Row {
     skipped_fraction: f64,
     parks: u64,
     peak_parked: u64,
+    /// Process peak resident set (`VmHWM`) sampled right after this row's
+    /// runs; 0 on non-Linux hosts. The counter is a process-lifetime
+    /// high-water mark, so a row reports the peak over *all rows so far* —
+    /// the million-job rows run last and own the headline number.
+    peak_rss_bytes: u64,
+}
+
+/// Read the process peak resident set from `/proc/self/status` (`VmHWM`,
+/// reported in kB). Returns 0 when the file or field is unavailable
+/// (non-Linux hosts).
+fn peak_rss_bytes() -> u64 {
+    if cfg!(target_os = "linux") {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
 }
 
 #[derive(Serialize)]
@@ -78,6 +112,9 @@ type ProtocolFactory = Box<dyn Fn() -> Box<dyn Protocol>>;
 struct Workload {
     name: String,
     jobs: Vec<(JobSpec, ProtocolFactory)>,
+    /// Base engine config (scheduling/fidelity overridden per run);
+    /// ALIGNED workloads need the shared-clock config.
+    config: EngineConfig,
 }
 
 fn punctual_batch(n: u32, window: u64) -> Workload {
@@ -91,6 +128,7 @@ fn punctual_batch(n: u32, window: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
 }
 
@@ -114,6 +152,7 @@ fn poisson_punctual(rate: f64, horizon: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
 }
 
@@ -131,6 +170,7 @@ fn poisson_uniform(rate: f64, horizon: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
 }
 
@@ -149,6 +189,7 @@ fn backoff_mix(n: u32, window: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
 }
 
@@ -156,7 +197,7 @@ fn run_mode(w: &Workload, scheduling: Scheduling, fidelity: Fidelity) -> SimRepo
     let config = EngineConfig {
         scheduling,
         fidelity,
-        ..EngineConfig::default()
+        ..w.config.clone()
     };
     let mut engine = Engine::new(config, SEED);
     for (spec, factory) in &w.jobs {
@@ -168,9 +209,21 @@ fn run_mode(w: &Workload, scheduling: Scheduling, fidelity: Fidelity) -> SimRepo
 /// Fastest slots/sec over `REPS` runs; also returns the last report for
 /// the cross-check.
 fn best_rate(w: &Workload, scheduling: Scheduling, fidelity: Fidelity) -> (f64, SimReport) {
+    best_rate_n(w, scheduling, fidelity, REPS)
+}
+
+/// Like [`best_rate`] but with an explicit rep count — the slow exact
+/// baselines of the aggregate rows run once to keep the bench's wall
+/// time sane.
+fn best_rate_n(
+    w: &Workload,
+    scheduling: Scheduling,
+    fidelity: Fidelity,
+    reps: usize,
+) -> (f64, SimReport) {
     let mut best = 0.0f64;
     let mut last = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let report = run_mode(w, scheduling, fidelity);
         let secs = report.engine_nanos as f64 / 1e9;
         if secs > 0.0 {
@@ -193,7 +246,35 @@ fn uniform_cohort(n: u32, window: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
+}
+
+/// An ALIGNED batch: `n` jobs sharing one class-`c` window (w = 2^c),
+/// the population shape of experiment E20's scale sweep. Needs the
+/// shared-clock engine config.
+fn aligned_batch(n: u32, class: u32) -> Workload {
+    let window = 1u64 << class;
+    let params = AlignedParams::new(1, 2, class);
+    Workload {
+        name: format!("e20-aligned-batch n={n} w=2^{class}"),
+        jobs: (0..n)
+            .map(|i| {
+                let spec = JobSpec::new(i, 0, window);
+                let f: ProtocolFactory = Box::new(move || Box::new(AlignedProtocol::new(params)));
+                (spec, f)
+            })
+            .collect(),
+        config: EngineConfig::aligned(),
+    }
+}
+
+/// A PUNCTUAL batch at aggregate scale, named for E20 to distinguish it
+/// from the small exact-mode `e9-punctual-batch` row.
+fn punctual_scale_batch(n: u32, window: u64) -> Workload {
+    let mut w = punctual_batch(n, window);
+    w.name = format!("e20-punctual-batch n={n} w=2^{}", window.trailing_zeros());
+    w
 }
 
 /// A dense ALOHA population: one Bernoulli bucket of `n` lanes polled
@@ -209,6 +290,7 @@ fn aloha_lanes(n: u32, window: u64) -> Workload {
                 (spec, f)
             })
             .collect(),
+        config: EngineConfig::default(),
     }
 }
 
@@ -272,6 +354,7 @@ fn main() {
             skipped_fraction,
             parks: sched.parks,
             peak_parked: sched.peak_parked,
+            peak_rss_bytes: peak_rss_bytes(),
         });
     }
 
@@ -324,6 +407,7 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
+            peak_rss_bytes: peak_rss_bytes(),
         });
     }
 
@@ -388,6 +472,117 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(vector_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+
+    // Aggregate-class rows (mode "cohort"): exact vs [`Fidelity::Cohort`]
+    // on the ALIGNED and PUNCTUAL batch shapes of E20, both event-driven.
+    // A batch shares one class, so per-trial success fractions cluster
+    // (one size estimate, one leader fate per trial) — the statistical
+    // equivalence claim lives in tests/cohort_equivalence.rs and E20's
+    // anchor cells; here a loose band only catches gross modelling breaks
+    // while the row measures throughput. The exact baseline runs once (it
+    // is the slow side being replaced); the aggregate side keeps REPS.
+    for w in [
+        aligned_batch(100_000, 20),
+        punctual_scale_batch(100_000, 1 << 16),
+    ] {
+        let (exact_rate, exact_report) =
+            best_rate_n(&w, Scheduling::EventDriven, Fidelity::Exact, 1);
+        let (cohort_rate, cohort_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Cohort);
+        let (ef, cf) = (
+            exact_report.success_fraction(),
+            cohort_report.success_fraction(),
+        );
+        assert!(
+            (ef - cf).abs() < 0.15,
+            "{}: cohort success fraction {cf:.4} vs exact {ef:.4}",
+            w.name
+        );
+        let speedup = if exact_rate > 0.0 {
+            cohort_rate / exact_rate
+        } else {
+            0.0
+        };
+        // The acceptance floor for the aggregate path: >= 5x the exact
+        // engine's slot rate at n = 10^5. A ratio on the same machine, so
+        // safe to assert even on slow CI hosts.
+        assert!(
+            speedup >= 5.0,
+            "{}: aggregate speedup {speedup:.2}x is below the 5x floor",
+            w.name
+        );
+        let sched = cohort_report.sched_stats;
+        println!(
+            "{:48} jobs={:6} slots={:8}  exact {:>12.0}/s  cohort {:>11.0}/s  speedup {:5.1}x  \
+             (success {:.3} vs {:.3})",
+            w.name,
+            w.jobs.len(),
+            cohort_report.slots_run,
+            exact_rate,
+            cohort_rate,
+            speedup,
+            cf,
+            ef,
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            jobs: w.jobs.len(),
+            slots_run: cohort_report.slots_run,
+            mode: "cohort",
+            dense_slots_per_sec: exact_rate,
+            event_slots_per_sec: cohort_rate,
+            speedup,
+            gap_skips: sched.gap_skips,
+            gap_slots: sched.gap_slots,
+            skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
+            parks: sched.parks,
+            peak_parked: sched.peak_parked,
+            peak_rss_bytes: peak_rss_bytes(),
+        });
+    }
+
+    // Million-job rows (mode "cohort-only"): single-rep aggregate
+    // throughput and peak RSS at n = 10^6 — the regime the aggregate path
+    // exists for. No exact baseline (it would dominate the bench's wall
+    // time for a number the n = 10^5 rows already establish), so the
+    // exact-side fields are zeroed and no speedup is claimed. Windows are
+    // comfortably feasible (ALIGNED slack ~16; PUNCTUAL per the round-
+    // structure law of E20) so the delivered fraction doubles as a smoke
+    // signal, though it is not asserted: ALIGNED's whole-class estimate
+    // catastrophe fails ~1 trial in 6 at any n and would make an assert
+    // here seed-roulette.
+    for w in [
+        aligned_batch(1_000_000, 24),
+        punctual_scale_batch(1_000_000, 1 << 28),
+    ] {
+        let (rate, report) = best_rate_n(&w, Scheduling::EventDriven, Fidelity::Cohort, 1);
+        let sched = report.sched_stats;
+        let rss = peak_rss_bytes();
+        println!(
+            "{:48} jobs={:7} slots={:8}  cohort {:>11.0}/s  success {:.3}  peak-rss {} MiB",
+            w.name,
+            w.jobs.len(),
+            report.slots_run,
+            rate,
+            report.success_fraction(),
+            rss / (1 << 20),
+        );
+        rows.push(Row {
+            workload: w.name.clone(),
+            jobs: w.jobs.len(),
+            slots_run: report.slots_run,
+            mode: "cohort-only",
+            dense_slots_per_sec: 0.0,
+            event_slots_per_sec: rate,
+            speedup: 0.0,
+            gap_skips: sched.gap_skips,
+            gap_slots: sched.gap_slots,
+            skipped_fraction: sched.skipped_fraction(report.slots_run),
+            parks: sched.parks,
+            peak_parked: sched.peak_parked,
+            peak_rss_bytes: rss,
         });
     }
 

@@ -13,6 +13,7 @@ pub mod e17_latency;
 pub mod e18_breakdown;
 pub mod e19_estimation_fidelity;
 pub mod e1_contention;
+pub mod e20_scale;
 pub mod e2_uniform;
 pub mod e3_starvation;
 pub mod e4_estimation;

@@ -24,7 +24,7 @@ pub use report::{ExpOutput, ReportBuilder};
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    "e14", "e15", "e16", "e17", "e18", "e19", "a1", "a2",
+    "e14", "e15", "e16", "e17", "e18", "e19", "e20", "a1", "a2",
 ];
 
 /// Run one experiment by id, returning its rendered text report.
@@ -61,6 +61,7 @@ pub fn run_experiment_report(id: &str, cfg: &ExpConfig) -> Option<ExpOutput> {
         "e17" => experiments::e17_latency::run(cfg),
         "e18" => experiments::e18_breakdown::run(cfg),
         "e19" => experiments::e19_estimation_fidelity::run(cfg),
+        "e20" => experiments::e20_scale::run(cfg),
         "a1" => experiments::a1_no_deferral::run(cfg),
         "a2" => experiments::a2_params::run(cfg),
         _ => return None,

@@ -23,6 +23,7 @@
 //! schedule from channel feedback alone (Lemma 7).
 
 pub mod broadcast;
+pub mod cohort;
 pub mod estimator;
 pub mod params;
 pub mod protocol;

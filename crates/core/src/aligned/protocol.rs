@@ -6,11 +6,13 @@
 //! data. [`AlignedProtocol`] adapts it to the [`dcr_sim::engine::Protocol`]
 //! trait for the pure aligned setting.
 
+use crate::aligned::cohort::{aligned_class_tag, AlignedCohort};
 use crate::aligned::estimator::Estimation;
 use crate::aligned::params::AlignedParams;
 use crate::aligned::tracker::{ActiveStep, StepKind, Tracker};
 use crate::aligned::CTRL_ESTIMATE;
-use dcr_sim::engine::{Action, JobCtx, Protocol};
+use dcr_sim::classes::{ClassCtx, ClassDriver};
+use dcr_sim::engine::{Action, CohortTx, JobCtx, Protocol};
 use dcr_sim::job::JobId;
 use dcr_sim::message::{ControlMsg, Payload};
 use dcr_sim::probe::{EventBuf, ProbeEvent};
@@ -376,6 +378,34 @@ impl Protocol for AlignedProtocol {
     fn on_feedback(&mut self, ctx: &JobCtx, fb: &Feedback, _rng: &mut dyn RngCore) {
         let job = self.job.as_mut().expect("activated");
         job.observe(ctx.aligned_now(), fb);
+    }
+
+    fn cohort_tx(&self, ctx: &JobCtx) -> Option<CohortTx> {
+        // Aggregate only where the per-job path would be legal anyway: the
+        // aligned clock is exposed and the window is power-of-2-aligned.
+        // Returning `None` keeps the job on the exact path (whose
+        // `on_activate` then reports any misconfiguration as usual).
+        let now = ctx.aligned_time?;
+        if !ctx.window.is_power_of_two() || !now.is_multiple_of(ctx.window) {
+            return None;
+        }
+        if ctx.window.trailing_zeros() < self.params.min_class {
+            return None;
+        }
+        Some(CohortTx::Class {
+            tag: aligned_class_tag(&self.params),
+        })
+    }
+
+    fn class_driver(&self, ctx: &JobCtx, cctx: &ClassCtx) -> Option<Box<dyn ClassDriver>> {
+        // `cohort_tx` already vetted alignment; the class window starts at
+        // the shared release slot.
+        let class = cctx.window.trailing_zeros();
+        let mut driver = AlignedCohort::new(self.params, class, cctx.release, cctx.class_seed);
+        if ctx.probed {
+            driver.arm_probe();
+        }
+        Some(Box::new(driver))
     }
 
     fn is_done(&self) -> bool {

@@ -39,6 +39,7 @@
 //!    up (truncation, Lemma 12's bad event) falls back to anarchy instead
 //!    of going silent.
 
+pub mod cohort;
 pub mod messages;
 pub mod params;
 pub mod protocol;

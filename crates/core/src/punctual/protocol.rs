@@ -8,10 +8,12 @@
 //! resolutions where the paper under-specifies.
 
 use crate::aligned::protocol::{AlignedAction, AlignedJob};
+use crate::punctual::cohort::{punctual_class_tag, PunctualCohort};
 use crate::punctual::messages::PunctualMsg;
 use crate::punctual::params::{slot_role, PunctualParams, SlotRole, ROUND_LEN};
 use crate::punctual::trim::trim_class;
-use dcr_sim::engine::{Action, DutyCycle, JobCtx, Protocol};
+use dcr_sim::classes::{ClassCtx, ClassDriver};
+use dcr_sim::engine::{Action, CohortTx, DutyCycle, JobCtx, Protocol};
 use dcr_sim::message::Payload;
 use dcr_sim::probe::{EventBuf, ProbeEvent};
 use dcr_sim::slot::Feedback;
@@ -54,21 +56,23 @@ static FOLLOW_STEPS: StepTable = step_table(1 << 0 | 1 << 1 | 1 << 3 | 1 << 5);
 static ANARCHIST_STEPS: StepTable = step_table(1 << 0 | 1 << 1 | 1 << 9);
 
 /// The shared virtual clock learned from (or established by) a leader.
+/// `pub(crate)` so the aggregate cohort driver can mirror it and hand it
+/// to an ejected leader.
 #[derive(Debug, Clone, Copy)]
-struct Clock {
+pub(crate) struct Clock {
     /// Alignment-domain identifier.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Round counter value at `base_local`'s round.
-    rho_base: u64,
+    pub(crate) rho_base: u64,
     /// A local slot known to be a round start where `rho_base` held.
-    base_local: u64,
+    pub(crate) base_local: u64,
 }
 
 impl Clock {
     /// The round counter for the round starting at `round_start_local`.
     /// Self-advances between beacons: followers keep counting rounds even
     /// through leaderless stretches (engineering resolution #3).
-    fn rho(&self, round_start_local: u64) -> u64 {
+    pub(crate) fn rho(&self, round_start_local: u64) -> u64 {
         debug_assert!(round_start_local >= self.base_local);
         self.rho_base + (round_start_local - self.base_local) / ROUND_LEN
     }
@@ -209,6 +213,33 @@ impl PunctualProtocol {
             anarchy_p: 0.0,
             probe: EventBuf::default(),
         }
+    }
+
+    /// A job ejected from an aggregate class after winning an election:
+    /// it enters exactly the state its exact-path twin would hold after a
+    /// successful claim — `Leader(Takeover)` with one timekeeper left for
+    /// the (nonexistent, in the from-scratch case) old leader's handoff.
+    /// `anchor_local` is the round anchor in the job's local time and
+    /// `clock` whatever virtual clock the aggregate had mirrored.
+    pub(crate) fn leader_takeover(
+        params: PunctualParams,
+        anchor_local: u64,
+        clock: Option<Clock>,
+        probed: bool,
+    ) -> Self {
+        let mut p = Self::new(params);
+        p.state = State::Leader {
+            phase: LeaderPhase::Takeover {
+                timekeepers_to_skip: 1,
+            },
+        };
+        p.anchor = Some(anchor_local);
+        p.clock = clock;
+        if probed {
+            p.probe.arm();
+            p.probe.phase(state_tag(&p.state));
+        }
+        p
     }
 
     /// Factory closure for [`dcr_sim::engine::Engine::add_jobs`].
@@ -739,6 +770,20 @@ impl Protocol for PunctualProtocol {
         if let State::Follow { job: Some(j), .. } = &mut self.state {
             j.drain_probe(out);
         }
+    }
+
+    fn cohort_tx(&self, _ctx: &JobCtx) -> Option<CohortTx> {
+        // PUNCTUAL is phase-synchronized for any `(release, deadline)` pair
+        // — no alignment precondition — so every class of identical jobs
+        // aggregates under cohort fidelity.
+        Some(CohortTx::Class {
+            tag: punctual_class_tag(&self.params),
+        })
+    }
+
+    fn class_driver(&self, ctx: &JobCtx, cctx: &ClassCtx) -> Option<Box<dyn ClassDriver>> {
+        let _ = ctx;
+        Some(Box::new(PunctualCohort::new(self.params, cctx)))
     }
 
     fn is_done(&self) -> bool {

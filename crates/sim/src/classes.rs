@@ -1,0 +1,218 @@
+//! Phase-synchronized aggregate classes — the million-job fidelity layer.
+//!
+//! [`crate::engine::CohortTx::Constant`] and [`crate::engine::CohortTx::OneShot`]
+//! cover memoryless profiles: a cohort member never listens and never changes
+//! its law in response to feedback, so the whole cohort is a single binomial
+//! per slot. The paper's headline protocols (ALIGNED, PUNCTUAL) are *not*
+//! memoryless — they advance through phases, elect leaders, and react to the
+//! channel — but they are **phase-synchronized**: every member of a class
+//! (same protocol parameters, same release, same deadline) occupies the same
+//! protocol state in every slot, transmits with the same per-slot
+//! probability, and updates that shared state from the same public feedback.
+//! Members are exchangeable until the moment one of them is singled out.
+//!
+//! A [`ClassDriver`] exploits that: it simulates the *shared* state machine
+//! once per class and replaces the per-member Bernoulli coins with one exact
+//! `Binomial(m, p)` draw per slot ([`crate::rng::sample_binomial`]), so a
+//! class of 10⁶ members costs the same per slot as a class of 10. Individual
+//! members are **materialized** only at the boundaries where exchangeability
+//! breaks:
+//!
+//! * a **lone win** — the channel needs a concrete `src` and payload;
+//! * a **leader election** — the winner leaves the aggregate and becomes an
+//!   ordinary exact-path job ([`ClassEvent::Eject`]);
+//! * any other protocol-defined conversion that differentiates a member.
+//!
+//! ## Randomness and replayability
+//!
+//! Every class draws from [`crate::crng::CounterRng`] streams keyed on
+//! `(class_seed, slot, phase)` where `class_seed` is derived from the trial
+//! seed via [`crate::rng::StreamLabel::Class`] and the class's identity
+//! `(tag, release, deadline)`. Construction of a counter RNG is free and the
+//! stream depends only on the key and the slot number — never on scheduling
+//! order or shard layout — so aggregate runs are exactly replayable and
+//! shard/partition-invariant, matching the PR 6 contract for the vectorized
+//! kernel.
+//!
+//! ## Fidelity contract
+//!
+//! Aggregate classes run under [`crate::engine::Fidelity::Cohort`] only and
+//! promise **statistical** equivalence with the exact path (same success-law,
+//! checked by Wilson-interval overlap in `tests/cohort_equivalence.rs`), not
+//! bit identity: the class stream and the per-job streams are distinct RNG
+//! domains. Under [`crate::engine::Fidelity::Vectorized`] class-profile jobs
+//! take the exact per-job path so the kernel's bit-identity contract is
+//! untouched.
+
+use crate::engine::Protocol;
+use crate::job::JobId;
+use crate::message::Payload;
+use crate::probe::ProbeEvent;
+use crate::slot::Feedback;
+
+/// Class-level context handed to [`crate::engine::Protocol::class_driver`]
+/// when the engine opens a new aggregate class.
+///
+/// Unlike [`crate::engine::JobCtx`] this speaks *global* time: the driver is
+/// an engine-side aggregate, not a station, so it may know the release slot
+/// outright. (A real station in the class knows the same information
+/// relative to its own clock — all members share release and deadline, which
+/// is exactly what makes the aggregation sound.)
+#[derive(Debug, Clone, Copy)]
+pub struct ClassCtx {
+    /// Shared release slot of every member.
+    pub release: u64,
+    /// Shared deadline slot of every member (window is `[release, deadline)`).
+    pub deadline: u64,
+    /// Shared window size `deadline - release`.
+    pub window: u64,
+    /// The class's counter-RNG key (derived via
+    /// [`crate::rng::StreamLabel::Class`]); feed it to
+    /// [`crate::crng::CounterRng::new`] together with a slot and phase.
+    pub class_seed: u64,
+    /// True when some probe sink consumes protocol events: the driver should
+    /// arm its event buffer. Observability only — must not affect decisions.
+    pub probed: bool,
+}
+
+/// One slot's aggregate declaration from a class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassSlot {
+    /// Number of members transmitting this slot (an exact binomial draw, or
+    /// a deterministic count on broadcast-style steps).
+    pub count: u64,
+    /// The class's contribution to the slot's declared contention — the sum
+    /// of the members' transmission probabilities (`m·p` on a sampled step,
+    /// `m` on a deterministic one, `0` on a listen step).
+    pub declared: f64,
+}
+
+/// A state change a class reports to the engine after seeing feedback.
+pub enum ClassEvent {
+    /// `member` leaves the aggregate and continues as an ordinary exact-path
+    /// job driven by `protocol` (e.g. an elected leader). The protocol is
+    /// constructed pre-synchronized: the engine starts polling it next slot
+    /// with the member's usual local clock.
+    Eject {
+        /// The member being materialized out of the aggregate.
+        member: JobId,
+        /// Replacement per-job protocol, already synchronized to the class's
+        /// shared state.
+        protocol: Box<dyn Protocol>,
+    },
+}
+
+/// The shared state machine of one aggregate class.
+///
+/// The engine drives every live class each slot:
+///
+/// 1. [`begin_slot`](ClassDriver::begin_slot) returns the class's transmitter
+///    count (and declared contention) for this slot;
+/// 2. iff the class turns out to be the slot's **sole transmitter globally**
+///    (its count is 1 and nothing else transmitted),
+///    [`materialize`](ClassDriver::materialize) names the member and payload
+///    that go on the channel;
+/// 3. [`end_slot`](ClassDriver::end_slot) sees the slot's public feedback —
+///    exactly what a listening member would see — settles shared state, and
+///    reports ejections. A delivered data payload is credited by the engine
+///    itself (the materialized member's id is the slot's `src`), so drivers
+///    only drop the member from their live set.
+///
+/// Drivers must derive all randomness from `CounterRng(class_seed, slot,
+/// phase)` streams so runs replay exactly. The same-slot contract as for
+/// protocols applies to probe events: emit only from slots the class
+/// actually attended.
+pub trait ClassDriver {
+    /// Add one member. Called once per member at its activation slot; all
+    /// members share the class's `(release, deadline)` by construction.
+    fn admit(&mut self, member: JobId);
+
+    /// Members still live in the aggregate (admitted, not delivered, not
+    /// ejected, not given up).
+    fn live(&self) -> usize;
+
+    /// Open `slot`: decide the aggregate transmitter count.
+    fn begin_slot(&mut self, slot: u64) -> ClassSlot;
+
+    /// Name the single transmitting member and its payload. Called only when
+    /// this class is the slot's sole transmitter globally; the returned id
+    /// becomes the slot's `src`, so data payloads are delivered to the
+    /// returned member by the generic engine path.
+    fn materialize(&mut self, slot: u64) -> (JobId, Payload);
+
+    /// Close `slot` with its resolved feedback; push state changes that need
+    /// engine cooperation into `out`.
+    fn end_slot(&mut self, slot: u64, fb: &Feedback, out: &mut Vec<ClassEvent>);
+
+    /// Move buffered probe events into `out` (no-op when unprobed).
+    fn drain_events(&mut self, out: &mut Vec<ProbeEvent>) {
+        let _ = out;
+    }
+}
+
+/// The per-seed stream index of class `(tag, release, deadline)` under
+/// [`crate::rng::StreamLabel::Class`].
+pub fn class_stream_index(tag: u64, release: u64, deadline: u64) -> u64 {
+    tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ release.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ deadline.wrapping_mul(0x94d0_49bb_1331_11eb)
+}
+
+/// One live aggregate class inside the engine.
+pub(crate) struct ClassEntry {
+    /// Protocol-chosen discriminant (commits to protocol kind + parameters).
+    pub tag: u64,
+    /// Shared release slot.
+    pub release: u64,
+    /// Shared deadline slot.
+    pub deadline: u64,
+    /// Cached `driver.live()` from the end of the previous slot.
+    pub live: usize,
+    /// This slot's transmitter count (reset every slot).
+    pub count: u64,
+    /// The shared state machine.
+    pub driver: Box<dyn ClassDriver>,
+}
+
+/// The set of live aggregate classes (engine-internal).
+#[derive(Default)]
+pub(crate) struct ClassSet {
+    pub entries: Vec<ClassEntry>,
+    /// Total live members across all entries; the engine's liveness
+    /// accounting (gap-skip gating, all-dead break, `live_jobs`).
+    pub total: usize,
+}
+
+impl ClassSet {
+    /// Drop all classes (trial-arena reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
+    }
+
+    /// Find the entry for `(tag, release, deadline)`, scanning newest-first
+    /// (same-slot admissions cluster at the back).
+    pub fn find_mut(&mut self, tag: u64, release: u64, deadline: u64) -> Option<&mut ClassEntry> {
+        self.entries
+            .iter_mut()
+            .rev()
+            .find(|e| e.tag == tag && e.release == release && e.deadline == deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_index_separates_classes() {
+        let mut seen = std::collections::HashSet::new();
+        for tag in [1u64, 2, 0xdead_beef] {
+            for release in [0u64, 64, 4096] {
+                for deadline in [128u64, 8192, 1 << 20] {
+                    assert!(seen.insert(class_stream_index(tag, release, deadline)));
+                }
+            }
+        }
+    }
+}

@@ -312,7 +312,7 @@ mod tests {
                 },
             ),
         ];
-        use crate::metrics::{JamStats, JobOutcome, SchedStats, SlotCounts};
+        use crate::metrics::{ContentionStats, JamStats, JobOutcome, SchedStats, SlotCounts};
         let report = SimReport::new(
             vec![JobSpec::new(0, 0, 4)],
             vec![JobOutcome::Success { slot: 0 }],
@@ -323,6 +323,7 @@ mod tests {
             1,
             0,
             SchedStats::default(),
+            ContentionStats::default(),
             Some(trace),
             None,
         );

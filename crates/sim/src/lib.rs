@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod classes;
 pub mod crng;
 pub mod engine;
 pub mod gantt;
@@ -84,6 +85,7 @@ pub mod trace;
 
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
+    pub use crate::classes::{ClassCtx, ClassDriver, ClassEvent, ClassSlot};
     pub use crate::engine::{Action, Engine, EngineConfig, JobCtx, Protocol, Scheduling};
     pub use crate::jamming::{
         Adversary, AdversarySpec, BudgetedJammer, GilbertElliott, JamPolicy, Jammer,
@@ -91,7 +93,9 @@ pub mod prelude {
     };
     pub use crate::job::{JobId, JobSpec};
     pub use crate::message::{ControlMsg, Payload};
-    pub use crate::metrics::{JamStats, JobOutcome, SchedStats, SimReport, SlotCounts};
+    pub use crate::metrics::{
+        ContentionStats, JamStats, JobOutcome, SchedStats, SimReport, SlotCounts,
+    };
     pub use crate::probe::{
         EventBuf, ProbeEvent, ProbeOutput, ProbeRecord, ProbeReport, ProbeSink, ProbeSpec, SinkSpec,
     };

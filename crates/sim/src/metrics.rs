@@ -160,6 +160,48 @@ impl SchedStats {
     }
 }
 
+/// Declared-contention accounting for one run: the paper's contention
+/// `C(t) = Σ_j p_j(t)` summed over every measured slot. Populated only
+/// while some sink records slot traces (the per-slot sum is diagnostic and
+/// skipped otherwise, exactly like `SlotRecord::declared_contention`);
+/// gap-skipped silent stretches contribute zero but still count as
+/// measured. Exact-path jobs contribute their `tx_probability`, cohorts
+/// and aggregate classes their aggregate `m·p`, duty groups their standing
+/// counts; parked event-driven jobs and kernel one-shots are not polled
+/// for diagnostics, so like `declared_contention` itself this is
+/// comparable across fidelities only statistically (and exactly under
+/// dense scheduling).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ContentionStats {
+    /// Sum of per-slot declared contention over all measured slots.
+    pub declared_sum: f64,
+    /// Slots covered while measurement was on (0 when tracing was off).
+    pub measured_slots: u64,
+}
+
+// Manual impl so a missing `contention_stats` field (surfaced as `Null` by
+// the field lookup) falls back to zeros: artifacts archived before the
+// contention counters existed must still deserialize.
+impl<'de> serde::Deserialize<'de> for ContentionStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(Self::default());
+        }
+        Ok(Self {
+            declared_sum: f64::from_value(serde::field(v, "declared_sum")?)?,
+            measured_slots: u64::from_value(serde::field(v, "measured_slots")?)?,
+        })
+    }
+}
+
+impl ContentionStats {
+    /// Mean declared contention per measured slot, or `None` when nothing
+    /// was measured (avoids manufacturing a NaN).
+    pub fn mean(&self) -> Option<f64> {
+        (self.measured_slots > 0).then(|| self.declared_sum / self.measured_slots as f64)
+    }
+}
+
 /// The result of running one simulation to completion.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -189,6 +231,11 @@ pub struct SimReport {
     /// deserialization so pre-existing artifacts still load.
     #[serde(default)]
     pub sched_stats: SchedStats,
+    /// Declared-contention totals (see [`ContentionStats`]); zero unless
+    /// the run recorded slot traces. Defaults on deserialization so
+    /// pre-existing artifacts still load.
+    #[serde(default)]
+    pub contention_stats: ContentionStats,
     /// Full per-slot trace if `EngineConfig::record_trace` was set.
     pub trace: Option<Vec<SlotRecord>>,
     /// Probe sink outputs if `EngineConfig::probe` was set (see
@@ -208,6 +255,7 @@ impl SimReport {
         seed: u64,
         engine_nanos: u64,
         sched_stats: SchedStats,
+        contention_stats: ContentionStats,
         trace: Option<Vec<SlotRecord>>,
         probes: Option<ProbeReport>,
     ) -> Self {
@@ -221,6 +269,7 @@ impl SimReport {
             seed,
             engine_nanos,
             sched_stats,
+            contention_stats,
             trace,
             probes,
         }
@@ -368,6 +417,10 @@ mod tests {
                 parks: 2,
                 peak_parked: 2,
             },
+            ContentionStats {
+                declared_sum: 4.0,
+                measured_slots: 8,
+            },
             None,
             None,
         )
@@ -411,6 +464,7 @@ mod tests {
             0,
             0,
             SchedStats::default(),
+            ContentionStats::default(),
             None,
             None,
         )
@@ -446,6 +500,14 @@ mod tests {
         assert!((r.sched_stats.skipped_fraction(r.slots_run) - 0.5).abs() < 1e-12);
         // Empty run reports zero rather than dividing by zero.
         assert_eq!(empty().sched_stats.skipped_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn contention_stats_mean() {
+        let r = report();
+        assert_eq!(r.contention_stats.mean(), Some(0.5));
+        // An unmeasured run has no mean rather than a NaN.
+        assert_eq!(empty().contention_stats.mean(), None);
     }
 
     #[test]

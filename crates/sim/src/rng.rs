@@ -23,6 +23,12 @@ pub enum StreamLabel {
     Workload,
     /// Aggregate cohort draws under [`crate::engine::Fidelity::Cohort`].
     Cohort,
+    /// Per-class counter-RNG keys for phase-synchronized aggregate classes
+    /// ([`crate::classes::ClassDriver`]); index = the class grouping key.
+    /// Class draws are made from [`crate::crng::CounterRng`] streams keyed
+    /// on `(class_seed, slot, phase)`, so they are replayable and
+    /// shard/partition-invariant by construction.
+    Class,
     /// Anything else; caller supplies a unique discriminant via `index`.
     Misc,
 }
@@ -35,6 +41,7 @@ impl StreamLabel {
             StreamLabel::Trial => 0x545249,    // "TRI"
             StreamLabel::Workload => 0x574b4c, // "WKL"
             StreamLabel::Cohort => 0x434f48,   // "COH"
+            StreamLabel::Class => 0x434c53,    // "CLS"
             StreamLabel::Misc => 0x4d4953,     // "MIS"
         }
     }
@@ -157,6 +164,7 @@ mod tests {
             StreamLabel::Trial,
             StreamLabel::Workload,
             StreamLabel::Cohort,
+            StreamLabel::Class,
             StreamLabel::Misc,
         ] {
             for idx in 0..100 {

@@ -21,7 +21,9 @@
 mod testkit;
 
 use contention_deadlines::baselines::{FixedProbability, Sawtooth};
-use contention_deadlines::protocols::Uniform;
+use contention_deadlines::protocols::{
+    AlignedParams, AlignedProtocol, PunctualParams, PunctualProtocol, Uniform,
+};
 use contention_deadlines::sim::engine::{Engine, EngineConfig};
 use contention_deadlines::sim::job::JobSpec;
 use proptest::prelude::*;
@@ -129,6 +131,57 @@ fn mixed_kernel_and_exact_population_matches_exact() {
                 add(e, 64, Box::new(Uniform::single()));
                 add(e, 100, Box::new(FixedProbability::new(0.03)));
             });
+        }
+    }
+}
+
+#[test]
+fn class_profile_protocols_fall_back_to_exact_under_vectorized() {
+    // `CohortTx::Class` marks a protocol as aggregate-capable under
+    // *cohort* fidelity only; the vectorized kernel has no class lanes, so
+    // the engine must run these jobs on the exact per-job path and stay
+    // bit-identical to the plain exact engine. ALIGNED additionally sharing
+    // the channel with kernel-managed ALOHA lanes checks that the class
+    // fallback doesn't disturb kernel feedback fan-out.
+    let grid = jammers();
+    for (jname, jammer) in &grid {
+        for seed in 0..3u64 {
+            assert_config_equiv(
+                &format!("aligned-class-fallback jam={jname}"),
+                EngineConfig::aligned(),
+                EngineConfig::aligned().vectorized(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    for i in 0..12u32 {
+                        e.add_job(
+                            JobSpec::new(i, 0, 512),
+                            Box::new(AlignedProtocol::new(AlignedParams::new(1, 2, 9))),
+                        );
+                    }
+                    for i in 12..24u32 {
+                        e.add_job(
+                            JobSpec::new(i, 0, 512),
+                            Box::new(FixedProbability::new(0.02)),
+                        );
+                    }
+                },
+            );
+            assert_config_equiv(
+                &format!("punctual-class-fallback jam={jname}"),
+                EngineConfig::default(),
+                EngineConfig::default().vectorized(),
+                jammer.as_ref(),
+                seed,
+                |e| {
+                    for i in 0..5u32 {
+                        e.add_job(
+                            JobSpec::new(i, 0, 1 << 12),
+                            Box::new(PunctualProtocol::new(PunctualParams::laptop())),
+                        );
+                    }
+                },
+            );
         }
     }
 }

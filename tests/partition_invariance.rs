@@ -18,22 +18,21 @@
 mod testkit;
 
 use contention_deadlines::baselines::FixedProbability;
-use contention_deadlines::protocols::Uniform;
+use contention_deadlines::protocols::{
+    AlignedParams, AlignedProtocol, PunctualParams, PunctualProtocol, Uniform,
+};
 use contention_deadlines::sim::engine::{Engine, EngineConfig};
 use contention_deadlines::sim::job::JobSpec;
 use contention_deadlines::sim::metrics::SimReport;
 
-/// Run one vectorized trial with the given shard count and serialize the
+/// Run one trial of `base` with the given shard count and serialize the
 /// full report with wall-clock timing zeroed (the only field that may
 /// legitimately differ between runs).
-fn report_bytes<F>(shards: usize, seed: u64, setup: &F) -> String
+fn report_bytes<F>(base: &EngineConfig, shards: usize, seed: u64, setup: &F) -> String
 where
     F: Fn(&mut Engine),
 {
-    let config = EngineConfig::default()
-        .vectorized()
-        .with_kernel_shards(shards)
-        .with_trace();
+    let config = base.clone().with_kernel_shards(shards).with_trace();
     let mut engine = Engine::new(config, seed);
     setup(&mut engine);
     let mut report: SimReport = engine.run();
@@ -41,18 +40,25 @@ where
     serde_json::to_string(&report).expect("report serializes")
 }
 
-fn assert_partition_invariant<F>(label: &str, seed: u64, setup: F)
+fn assert_partition_invariant_in<F>(base: EngineConfig, label: &str, seed: u64, setup: F)
 where
     F: Fn(&mut Engine),
 {
-    let reference = report_bytes(1, seed, &setup);
+    let reference = report_bytes(&base, 1, seed, &setup);
     for shards in [2usize, 8] {
-        let sharded = report_bytes(shards, seed, &setup);
+        let sharded = report_bytes(&base, shards, seed, &setup);
         assert_eq!(
             reference, sharded,
             "{label}: serialized report diverges between 1 and {shards} shards (seed {seed})"
         );
     }
+}
+
+fn assert_partition_invariant<F>(label: &str, seed: u64, setup: F)
+where
+    F: Fn(&mut Engine),
+{
+    assert_partition_invariant_in(EngineConfig::default().vectorized(), label, seed, setup);
 }
 
 #[test]
@@ -115,6 +121,93 @@ fn mixed_shot_and_bern_trial_is_shard_count_invariant() {
                 );
             }
         });
+    }
+}
+
+#[test]
+fn class_profile_jobs_are_shard_count_invariant() {
+    // Aggregate-capable protocols (`CohortTx::Class`) ride the exact path
+    // under vectorized fidelity, but they share the channel with a
+    // 2048-lane ALOHA bed large enough to engage the sharded pass: the
+    // class jobs' feedback (and therefore every downstream state machine)
+    // must not depend on how the Bernoulli pass was partitioned. PUNCTUAL
+    // runs under the default config, ALIGNED under the aligned-clock one.
+    for seed in 0..2u64 {
+        assert_partition_invariant_in(
+            EngineConfig::default().vectorized(),
+            "punctual-class",
+            seed,
+            |e| {
+                for i in 0..2048u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 4096),
+                        Box::new(FixedProbability::new(1.0 / 1024.0)),
+                    );
+                }
+                for i in 2048..2053u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 4096),
+                        Box::new(PunctualProtocol::new(PunctualParams::laptop())),
+                    );
+                }
+            },
+        );
+        assert_partition_invariant_in(
+            EngineConfig::aligned().vectorized(),
+            "aligned-class",
+            seed,
+            |e| {
+                for i in 0..2048u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 4096),
+                        Box::new(FixedProbability::new(1.0 / 1024.0)),
+                    );
+                }
+                for i in 2048..2064u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 512),
+                        Box::new(AlignedProtocol::new(AlignedParams::new(1, 2, 9))),
+                    );
+                }
+            },
+        );
+    }
+}
+
+#[test]
+fn cohort_fidelity_ignores_shard_count() {
+    // Shards are a vectorized-kernel concern; under cohort fidelity the
+    // aggregate drivers draw from the class stream regardless of the
+    // configured shard count, so the report must be byte-identical across
+    // 1/2/8 — a guard against shard state ever leaking into the class-RNG
+    // keying.
+    for seed in 0..2u64 {
+        assert_partition_invariant_in(
+            EngineConfig::aligned().cohort(),
+            "cohort-aligned",
+            seed,
+            |e| {
+                for i in 0..24u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 512),
+                        Box::new(AlignedProtocol::new(AlignedParams::new(1, 2, 9))),
+                    );
+                }
+            },
+        );
+        assert_partition_invariant_in(
+            EngineConfig::default().cohort(),
+            "cohort-punctual",
+            seed,
+            |e| {
+                for i in 0..6u32 {
+                    e.add_job(
+                        JobSpec::new(i, 0, 1 << 12),
+                        Box::new(PunctualProtocol::new(PunctualParams::laptop())),
+                    );
+                }
+            },
+        );
     }
 }
 

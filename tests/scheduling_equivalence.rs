@@ -393,6 +393,99 @@ fn probe_sinks_byte_identical_across_modes() {
     }
 }
 
+/// Cohort-fidelity probe parity: the aggregate class drivers buffer their
+/// events locally and only record while the probe bus is attending, so two
+/// guarantees must hold on top of the exact-path parity above. First,
+/// attending must not perturb the run — outcomes with the event sink
+/// attached are bit-identical to the bare run of the same seed. Second,
+/// when attended, the serialized event stream (which now includes the
+/// driver's job-less `SizeEstimate`/`PhaseEnter`/`LeaderElected` records)
+/// must be byte-identical between event-driven and dense scheduling.
+#[test]
+fn cohort_probe_events_byte_identical_when_attended() {
+    use contention_deadlines::sim::probe::{ProbeEvent, ProbeSpec, SinkSpec};
+
+    let event_bytes = |config: EngineConfig, seed: u64, setup: &dyn Fn(&mut Engine)| {
+        let probe = ProbeSpec::new().with(SinkSpec::Events);
+        let mut engine = Engine::new(config.with_probe(probe), seed);
+        setup(&mut engine);
+        let report = engine.run();
+        // Scheduling-diagnostic records (gap skips, wake-queue stats) exist
+        // only in event-driven mode by design; parity is over everything
+        // the protocols and class drivers emit.
+        let events: Vec<_> = report
+            .probes
+            .as_ref()
+            .unwrap()
+            .events()
+            .unwrap()
+            .iter()
+            .filter(|rec| {
+                !matches!(
+                    rec.event,
+                    ProbeEvent::GapSkip { .. } | ProbeEvent::WakeQueueStats { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        assert!(
+            events.iter().any(|rec| rec.job.is_none()),
+            "no aggregate-driver records: parity would be vacuous"
+        );
+        let bytes = serde_json::to_string(&events).expect("events serialize");
+        (bytes, report.outcomes().to_vec())
+    };
+    let bare_outcomes = |config: EngineConfig, seed: u64, setup: &dyn Fn(&mut Engine)| {
+        let mut engine = Engine::new(config, seed);
+        setup(&mut engine);
+        engine.run().outcomes().to_vec()
+    };
+
+    let aparams = AlignedParams::new(1, 2, 9);
+    let setup = |e: &mut Engine| {
+        for i in 0..16u32 {
+            e.add_job(
+                JobSpec::new(i, 0, 512),
+                Box::new(AlignedProtocol::new(aparams)),
+            );
+        }
+    };
+    for seed in 0..3u64 {
+        let base = EngineConfig::aligned().cohort();
+        let (ev, out) = event_bytes(base.clone(), seed, &setup);
+        let (dv, dout) = event_bytes(base.clone().dense(), seed, &setup);
+        assert_eq!(ev, dv, "aligned cohort events diverge (seed {seed})");
+        assert_eq!(out, dout, "aligned cohort outcomes diverge (seed {seed})");
+        assert_eq!(
+            out,
+            bare_outcomes(base, seed, &setup),
+            "attending perturbed the aligned cohort run (seed {seed})"
+        );
+    }
+
+    let pparams = PunctualParams::laptop();
+    let setup = |e: &mut Engine| {
+        for i in 0..6u32 {
+            e.add_job(
+                JobSpec::new(i, 0, 1 << 12),
+                Box::new(PunctualProtocol::new(pparams)),
+            );
+        }
+    };
+    for seed in 0..3u64 {
+        let base = EngineConfig::default().cohort();
+        let (ev, out) = event_bytes(base.clone(), seed, &setup);
+        let (dv, dout) = event_bytes(base.clone().dense(), seed, &setup);
+        assert_eq!(ev, dv, "punctual cohort events diverge (seed {seed})");
+        assert_eq!(out, dout, "punctual cohort outcomes diverge (seed {seed})");
+        assert_eq!(
+            out,
+            bare_outcomes(base, seed, &setup),
+            "attending perturbed the punctual cohort run (seed {seed})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(testkit::cases(24)))]
 

@@ -202,6 +202,87 @@ pub fn success_proportion(
     Proportion::new(hits, trials * u64::from(n))
 }
 
+/// [`success_proportion`] generalized over an arbitrary base config and
+/// an optional jammer — the aggregate-class equivalence grids need both
+/// (ALIGNED requires the aligned-clock config; every cell crosses the
+/// jammer grid).
+pub fn success_proportion_grid(
+    config: &EngineConfig,
+    jammer: Option<&Jammer>,
+    trials: u64,
+    master_seed: u64,
+    n: u32,
+    window: u64,
+    factory: impl Fn(&JobSpec) -> Box<dyn Protocol> + Sync,
+) -> Proportion {
+    let hits: u64 = run_trials(trials, master_seed, |_, seed| {
+        let mut e = Engine::new(config.clone(), seed);
+        if let Some(j) = jammer {
+            e.set_jammer(j.clone());
+        }
+        for i in 0..n {
+            let spec = JobSpec::new(i, 0, window);
+            e.add_job(spec, factory(&spec));
+        }
+        e.run().successes() as u64
+    })
+    .into_iter()
+    .map(|t| t.value)
+    .sum();
+    Proportion::new(hits, trials * u64::from(n))
+}
+
+/// Cluster-robust success-law comparison for protocols whose failures
+/// cluster by trial: ALIGNED and PUNCTUAL share one estimate / one leader
+/// per class, so a bad draw fails the whole class at once and job-level
+/// Wilson intervals are badly miscalibrated (the 1440 "samples" are ~60
+/// clusters). Compare mean per-trial success fractions with trial-level
+/// standard errors instead — an honest two-sample z-test on the cluster
+/// means.
+#[allow(clippy::too_many_arguments)]
+pub fn assert_success_law_match(
+    label: &str,
+    config_a: &EngineConfig,
+    config_b: &EngineConfig,
+    jammer: Option<&Jammer>,
+    trials: u64,
+    master_seed: u64,
+    n: u32,
+    window: u64,
+    factory: impl Fn(&JobSpec) -> Box<dyn Protocol> + Sync,
+) {
+    let fractions = |config: &EngineConfig, seed0: u64| -> Vec<f64> {
+        run_trials(trials, seed0, |_, seed| {
+            let mut e = Engine::new(config.clone(), seed);
+            if let Some(j) = jammer {
+                e.set_jammer(j.clone());
+            }
+            for i in 0..n {
+                let spec = JobSpec::new(i, 0, window);
+                e.add_job(spec, factory(&spec));
+            }
+            e.run().success_fraction()
+        })
+        .into_iter()
+        .map(|t| t.value)
+        .collect()
+    };
+    let a = fractions(config_a, master_seed);
+    let b = fractions(config_b, master_seed + 7919);
+    let stat = |v: &[f64]| {
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() as f64 - 1.0);
+        (m, (var / v.len() as f64).sqrt())
+    };
+    let (ma, sa) = stat(&a);
+    let (mb, sb) = stat(&b);
+    let tol = (5.0 * (sa + sb)).max(0.03);
+    assert!(
+        (ma - mb).abs() < tol,
+        "{label}: mean success fraction {ma:.4} vs {mb:.4} (tol {tol:.4})"
+    );
+}
+
 /// Assert the Wilson intervals at quantile `z` overlap, with a diagnostic
 /// that prints both intervals on failure.
 pub fn assert_wilson_overlap(label: &str, a: Proportion, b: Proportion, z: f64) {
