@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] [--trials N]
 //!             [--threads N] [--out DIR] [--json DIR] [--probe DIR] [--list]
+//! experiments --spec FILE [--json DIR]
 //! ```
 //!
 //! With no ids, runs the full suite in order; `--only` selects experiments
@@ -13,6 +14,13 @@
 //! suite-level `BENCH_summary.json` (see EXPERIMENTS.md for the schema);
 //! `--probe DIR` asks probe-aware experiments (E19) to also write trace
 //! artifacts such as Perfetto JSON files there.
+//!
+//! `--spec FILE` bypasses the suite and runs one declarative
+//! [`dcr_bench::runspec::ExperimentSpec`] from a JSON file — the exact
+//! code path `dcr-server` executes for submitted experiments, so a spec
+//! debugged here behaves identically when POSTed to the service. Prints
+//! the cache key the server would use; with `--json DIR` also writes the
+//! structured report to `DIR/spec-<key-prefix>.json`.
 
 use dcr_bench::{run_experiment_report, ExpConfig, ALL_EXPERIMENTS};
 use dcr_stats::report::SCHEMA_VERSION;
@@ -60,15 +68,66 @@ fn io_check<T>(what: &str, path: &std::path::Path, res: std::io::Result<T>) -> T
     })
 }
 
+/// `--spec FILE`: parse, validate, and run one declarative spec through
+/// the same `runspec` path the experiment server uses.
+fn run_spec_file(path: &std::path::Path, json_dir: Option<&std::path::Path>) {
+    use dcr_bench::runspec::{self, ExperimentSpec};
+
+    let raw = io_check("cannot read", path, std::fs::read_to_string(path));
+    let spec: ExperimentSpec = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!(
+            "error: {} is not a valid ExperimentSpec: {e:?}",
+            path.display()
+        );
+        std::process::exit(2);
+    });
+    let key = runspec::cache_key(&spec, &runspec::code_version());
+    println!("spec: {}", spec.label());
+    println!("cache key: {key}");
+
+    let progress = |done: u64, total: u64| {
+        eprintln!("  trials {done}/{total}");
+    };
+    let started = std::time::Instant::now();
+    match runspec::run_spec_with(&spec, progress, &dcr_sim::CancelToken::new()) {
+        Ok(out) => {
+            println!("{}", out.text);
+            println!(
+                "[{} probe events, {:.1}s]",
+                out.events.len(),
+                started.elapsed().as_secs_f64()
+            );
+            if let Some(dir) = json_dir {
+                let json =
+                    serde_json::to_string_pretty(&out.report).expect("serialize experiment report");
+                let file = dir.join(format!("spec-{}.json", &key[..16]));
+                io_check("cannot write", &file, std::fs::write(&file, json));
+                println!("wrote {}", file.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::full();
     let mut ids: Vec<String> = Vec::new();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut spec_file: Option<std::path::PathBuf> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--spec" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--spec needs a JSON file"));
+                spec_file = Some(v.into());
+            }
             "--out" => {
                 let v = iter
                     .next()
@@ -142,7 +201,7 @@ fn main() {
                 println!(
                     "usage: experiments [IDS…] [--only ID[,ID…]] [--quick] [--seed N] \
                      [--trials N] [--threads N] [--out DIR] [--json DIR] [--probe DIR] \
-                     [--list]\nids: {}",
+                     [--list]\n       experiments --spec FILE [--json DIR]\nids: {}",
                     ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -154,12 +213,21 @@ fn main() {
             id => ids.push(id.to_string()),
         }
     }
-    if ids.is_empty() {
-        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
-    }
     // Fail fast on unwritable output dirs rather than after the whole run.
     for dir in [&out_dir, &json_dir].into_iter().flatten() {
         io_check("cannot create directory", dir, std::fs::create_dir_all(dir));
+    }
+
+    if let Some(path) = spec_file {
+        if !ids.is_empty() {
+            usage_error("--spec runs one declarative spec; experiment ids don't apply");
+        }
+        run_spec_file(&path, json_dir.as_deref());
+        return;
+    }
+
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
 
     println!(

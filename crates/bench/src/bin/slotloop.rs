@@ -70,11 +70,46 @@ struct Row {
     skipped_fraction: f64,
     parks: u64,
     peak_parked: u64,
-    /// Process peak resident set (`VmHWM`) sampled right after this row's
-    /// runs; 0 on non-Linux hosts. The counter is a process-lifetime
-    /// high-water mark, so a row reports the peak over *all rows so far* —
-    /// the million-job rows run last and own the headline number.
+    /// Peak resident set (`VmHWM`) sampled right after this row's runs;
+    /// 0 on non-Linux hosts. The kernel counter is a process-lifetime
+    /// high-water mark, so it is **reset before each row** (writing `5`
+    /// to `/proc/self/clear_refs`) to make the number attributable to
+    /// the row alone; see `rss_scope` for whether the reset took.
     peak_rss_bytes: u64,
+    /// `"row"` when the peak-RSS counter was successfully reset before
+    /// this row's runs (the value is this row's own peak), or
+    /// `"process_peak"` when the reset is unavailable (the value is the
+    /// process-lifetime high-water mark up to this row, i.e. inflated by
+    /// every earlier row).
+    rss_scope: &'static str,
+}
+
+/// Reset the kernel's peak-RSS high-water mark to the *current* RSS by
+/// writing `5` to `/proc/self/clear_refs` (Linux ≥ 4.0). Returns whether
+/// the reset took; on failure (non-Linux, restricted procfs) callers
+/// fall back to reporting the process-lifetime peak, labeled as such.
+fn reset_peak_rss() -> bool {
+    cfg!(target_os = "linux") && std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Per-row RSS measurement: [`reset_peak_rss`] before the row's runs,
+/// sample `VmHWM` after. `finish()` yields the sampled bytes plus the
+/// `rss_scope` label recording whether the reset succeeded.
+struct RssProbe {
+    scoped: bool,
+}
+
+impl RssProbe {
+    fn start() -> Self {
+        Self {
+            scoped: reset_peak_rss(),
+        }
+    }
+
+    fn finish(self) -> (u64, &'static str) {
+        let scope = if self.scoped { "row" } else { "process_peak" };
+        (peak_rss_bytes(), scope)
+    }
 }
 
 /// Read the process peak resident set from `/proc/self/status` (`VmHWM`,
@@ -304,6 +339,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for w in &workloads {
+        let rss = RssProbe::start();
         let (dense_rate, dense_report) = best_rate(w, Scheduling::Dense, Fidelity::Exact);
         let (event_rate, event_report) = best_rate(w, Scheduling::EventDriven, Fidelity::Exact);
 
@@ -327,6 +363,7 @@ fn main() {
         };
         let sched = event_report.sched_stats;
         let skipped_fraction = sched.skipped_fraction(event_report.slots_run);
+        let (rss_bytes, rss_scope) = rss.finish();
         println!(
             "{:48} jobs={:4} slots={:8}  dense {:>12.0}/s  event {:>12.0}/s  speedup {:5.2}x  \
              (skipped {:.0}% in {} gaps, {} parks, peak {})",
@@ -354,7 +391,8 @@ fn main() {
             skipped_fraction,
             parks: sched.parks,
             peak_parked: sched.peak_parked,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss_bytes,
+            rss_scope,
         });
     }
 
@@ -362,6 +400,7 @@ fn main() {
     // polling of 10^5 jobs would take minutes and prove nothing new).
     {
         let w = uniform_cohort(100_000, 1 << 19);
+        let rss = RssProbe::start();
         let (exact_rate, exact_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Exact);
         let (cohort_rate, cohort_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Cohort);
         // Statistical cross-check: at n = 10^5 the success fraction's
@@ -382,6 +421,7 @@ fn main() {
             f64::NAN
         };
         let sched = cohort_report.sched_stats;
+        let (rss_bytes, rss_scope) = rss.finish();
         println!(
             "{:48} jobs={:4} slots={:8}  exact {:>12.0}/s  cohort {:>11.0}/s  speedup {:5.2}x  \
              (success {:.3} vs {:.3})",
@@ -407,7 +447,8 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss_bytes,
+            rss_scope,
         });
     }
 
@@ -421,6 +462,7 @@ fn main() {
         ),
         (aloha_lanes(100_000, 1 << 11), Scheduling::Dense, "dense"),
     ] {
+        let rss = RssProbe::start();
         let (exact_rate, exact_report) = best_rate(&w, scheduling, Fidelity::Exact);
         let (vector_rate, vector_report) = best_rate(&w, scheduling, Fidelity::Vectorized);
         assert_eq!(
@@ -450,6 +492,7 @@ fn main() {
             f64::NAN
         };
         let sched = vector_report.sched_stats;
+        let (rss_bytes, rss_scope) = rss.finish();
         println!(
             "{:48} jobs={:4} slots={:8}  exact {:>12.0}/s  vector {:>11.0}/s  speedup {:5.2}x  ({sched_name})",
             w.name,
@@ -472,7 +515,8 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(vector_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss_bytes,
+            rss_scope,
         });
     }
 
@@ -488,6 +532,7 @@ fn main() {
         aligned_batch(100_000, 20),
         punctual_scale_batch(100_000, 1 << 16),
     ] {
+        let rss = RssProbe::start();
         let (exact_rate, exact_report) =
             best_rate_n(&w, Scheduling::EventDriven, Fidelity::Exact, 1);
         let (cohort_rate, cohort_report) = best_rate(&w, Scheduling::EventDriven, Fidelity::Cohort);
@@ -514,6 +559,7 @@ fn main() {
             w.name
         );
         let sched = cohort_report.sched_stats;
+        let (rss_bytes, rss_scope) = rss.finish();
         println!(
             "{:48} jobs={:6} slots={:8}  exact {:>12.0}/s  cohort {:>11.0}/s  speedup {:5.1}x  \
              (success {:.3} vs {:.3})",
@@ -539,7 +585,8 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(cohort_report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
-            peak_rss_bytes: peak_rss_bytes(),
+            peak_rss_bytes: rss_bytes,
+            rss_scope,
         });
     }
 
@@ -557,9 +604,10 @@ fn main() {
         aligned_batch(1_000_000, 24),
         punctual_scale_batch(1_000_000, 1 << 28),
     ] {
+        let rss = RssProbe::start();
         let (rate, report) = best_rate_n(&w, Scheduling::EventDriven, Fidelity::Cohort, 1);
         let sched = report.sched_stats;
-        let rss = peak_rss_bytes();
+        let (rss_bytes, rss_scope) = rss.finish();
         println!(
             "{:48} jobs={:7} slots={:8}  cohort {:>11.0}/s  success {:.3}  peak-rss {} MiB",
             w.name,
@@ -567,7 +615,7 @@ fn main() {
             report.slots_run,
             rate,
             report.success_fraction(),
-            rss / (1 << 20),
+            rss_bytes / (1 << 20),
         );
         rows.push(Row {
             workload: w.name.clone(),
@@ -582,7 +630,8 @@ fn main() {
             skipped_fraction: sched.skipped_fraction(report.slots_run),
             parks: sched.parks,
             peak_parked: sched.peak_parked,
-            peak_rss_bytes: rss,
+            peak_rss_bytes: rss_bytes,
+            rss_scope,
         });
     }
 
@@ -595,4 +644,43 @@ fn main() {
     let json = serde_json::to_string_pretty(&bench).expect("serialize");
     std::fs::write("BENCH_slotloop.json", json + "\n").expect("write BENCH_slotloop.json");
     println!("wrote BENCH_slotloop.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the monotone-RSS bug: `VmHWM` is a process-lifetime
+    /// high-water mark, so without a reset every row reports the max over
+    /// all rows so far. The probe must bring the reading back down after
+    /// a large transient allocation — i.e. per-row peaks are attributable,
+    /// not cumulative.
+    #[test]
+    fn rss_probe_resets_the_high_water_mark() {
+        if !reset_peak_rss() {
+            // Reset unsupported here: the probe must say so, so rows are
+            // labeled process_peak rather than silently inflated.
+            assert_eq!(RssProbe::start().finish().1, "process_peak");
+            return;
+        }
+
+        // Row 1: a ~64 MiB transient spike (touched so it is resident).
+        let spike_probe = RssProbe::start();
+        let spike = vec![7u8; 64 << 20];
+        assert!(spike.iter().step_by(4096).map(|&b| b as u64).sum::<u64>() > 0);
+        let (spiked, scope) = spike_probe.finish();
+        assert_eq!(scope, "row");
+        drop(spike);
+
+        // Row 2: no allocation. Under the old VmHWM-only sampling this
+        // would still report row 1's spike; with the per-row reset it
+        // must drop by most of the spike.
+        let idle_probe = RssProbe::start();
+        let (idle, scope) = idle_probe.finish();
+        assert_eq!(scope, "row");
+        assert!(
+            idle + (32 << 20) < spiked,
+            "peak RSS did not reset between rows: spike row {spiked} B, idle row {idle} B"
+        );
+    }
 }

@@ -17,6 +17,7 @@
 pub mod config;
 pub mod experiments;
 pub mod report;
+pub mod runspec;
 
 pub use config::ExpConfig;
 pub use report::{ExpOutput, ReportBuilder};

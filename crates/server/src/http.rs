@@ -1,0 +1,131 @@
+//! A deliberately small HTTP/1.1 server substrate.
+//!
+//! This workspace vendors every dependency and carries no async runtime
+//! or web framework, so the experiment service speaks HTTP the way the
+//! protocol was written: one blocking [`TcpStream`] per connection, a
+//! request parser that understands exactly what the API needs (method,
+//! target, headers, `Content-Length` bodies), and response writers for
+//! JSON and Server-Sent Event streams. Connections are `close`-only —
+//! one request per connection keeps the state machine trivial, and both
+//! `curl` and the integration tests are fine with that.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body accepted, in bytes. Experiment specs are a few
+/// hundred bytes; anything near this bound is not a spec.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target with any query string stripped (`/experiments/ab12`).
+    pub path: String,
+    /// Body bytes (empty when the request carried none).
+    pub body: Vec<u8>,
+}
+
+/// Read and parse one request from `stream`. Returns `Ok(None)` for a
+/// connection closed before a full request line arrived; protocol errors
+/// surface as `Err` and the caller drops the connection.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m.to_ascii_uppercase(), t.to_string()),
+        _ => return Err(bad("malformed request line")),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("eof inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Some(Request { method, path, body }))
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Write a complete JSON response and close-frame headers.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{body}",
+        status_text(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Write an error response with a `{"error": …}` JSON body.
+pub fn respond_error(stream: &mut TcpStream, status: u16, msg: &str) -> std::io::Result<()> {
+    let body = serde_json::to_string(&serde::Value::Object(vec![(
+        "error".to_string(),
+        serde::Value::String(msg.to_string()),
+    )]))
+    .expect("serialize error body");
+    respond_json(stream, status, &body)
+}
+
+/// Begin a Server-Sent Events response: headers only; events follow via
+/// [`write_sse_event`] until the caller closes the stream.
+pub fn start_sse(stream: &mut TcpStream) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\ncontent-type: text/event-stream\r\n\
+         cache-control: no-store\r\nconnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Write one SSE event frame. `data` must be a single line (the JSON
+/// payloads this server emits are compact, never pretty-printed).
+pub fn write_sse_event(stream: &mut TcpStream, event: &str, data: &str) -> std::io::Result<()> {
+    debug_assert!(!data.contains('\n'), "SSE data must be single-line");
+    write!(stream, "event: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}

@@ -1,0 +1,527 @@
+//! # dcr-server — simulation as a service
+//!
+//! An HTTP front end over the trial arena: clients POST a declarative
+//! [`ExperimentSpec`], a worker pool executes it through the same
+//! [`dcr_bench::runspec`] code path the `experiments --spec` CLI uses,
+//! progress and probe events stream back over Server-Sent Events, and
+//! finished results are cached content-addressed by a canonical hash of
+//! `(spec, code version)` — resubmitting an identical spec is served from
+//! the cache without simulating a single slot.
+//!
+//! ## API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /experiments` | Submit a spec (JSON body). Returns `{id, status, cached}`; the id **is** the cache key. |
+//! | `GET /experiments/:id` | Status, and the full report + text once done. |
+//! | `GET /experiments/:id/events` | SSE stream: `progress` events while running, `probe` events from trial 0, then `done`/`failed`. Late subscribers get a full replay. |
+//! | `POST /experiments/:id/cancel` | Cancel a queued/running experiment. |
+//! | `GET /healthz` | Liveness + code version. |
+//!
+//! ## Concurrency model
+//!
+//! No async runtime is vendored, so the server is plain threads: an
+//! accept loop spawns one short-lived thread per connection (SSE
+//! subscribers hold theirs until the experiment finishes), and a fixed
+//! pool of worker threads drains a FIFO of submitted experiments. Each
+//! worker runs one experiment at a time; the Monte-Carlo batch inside it
+//! already fans out across the machine via the trial arena, so the pool
+//! shards *experiments*, not trials.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+
+use cache::{CacheEntry, DiskCache};
+use dcr_bench::runspec::{self, ExperimentSpec};
+use dcr_sim::prelude::ProbeRecord;
+use dcr_sim::CancelToken;
+use dcr_stats::ExperimentReport;
+use serde::{Serialize, Value};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration (see [`Server::bind`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8787`. Port `0` binds ephemeral
+    /// (the integration tests use this).
+    pub addr: String,
+    /// Directory for the content-addressed result cache.
+    pub cache_dir: PathBuf,
+    /// Worker threads draining the experiment queue (`0` = available
+    /// parallelism, capped at 4 — each worker's Monte-Carlo batch already
+    /// parallelizes internally).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8787".to_string(),
+            cache_dir: PathBuf::from("target/dcr-cache"),
+            workers: 0,
+        }
+    }
+}
+
+/// Lifecycle of one submitted experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running { done: u64, total: u64 },
+    Done,
+    Failed { error: String },
+}
+
+impl Phase {
+    fn name(&self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running { .. } => "running",
+            Phase::Done => "done",
+            Phase::Failed { .. } => "failed",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, Phase::Done | Phase::Failed { .. })
+    }
+}
+
+/// Mutable half of an experiment, guarded by one mutex so SSE
+/// subscribers can wait on a single condvar for "new event or phase
+/// change".
+struct ExpInner {
+    phase: Phase,
+    /// Pre-rendered SSE frames `(event name, single-line JSON data)`.
+    /// Append-only; subscribers replay from index 0.
+    events: Vec<(&'static str, String)>,
+    report: Option<ExperimentReport>,
+    text: Option<String>,
+}
+
+/// One experiment known to the server: submitted this process, or
+/// rehydrated from the disk cache.
+pub struct Experiment {
+    id: String,
+    spec: ExperimentSpec,
+    /// Set when this entry was satisfied from the cache (never executed
+    /// by this submission).
+    from_cache: AtomicBool,
+    cancel: CancelToken,
+    inner: Mutex<ExpInner>,
+    cv: Condvar,
+}
+
+impl Experiment {
+    fn new(id: String, spec: ExperimentSpec) -> Arc<Self> {
+        let total = spec.trials;
+        let exp = Arc::new(Self {
+            id,
+            spec,
+            from_cache: AtomicBool::new(false),
+            cancel: CancelToken::new(),
+            inner: Mutex::new(ExpInner {
+                phase: Phase::Queued,
+                events: Vec::new(),
+                report: None,
+                text: None,
+            }),
+            cv: Condvar::new(),
+        });
+        // Guarantee every subscriber sees at least one progress frame,
+        // even for runs that finish inside the runner's first batch.
+        exp.push_event("progress", progress_json(0, total));
+        exp
+    }
+
+    /// Rehydrate a finished experiment from a cache entry: terminal from
+    /// birth, with the full event stream ready for replay.
+    fn from_cache_entry(entry: CacheEntry) -> Arc<Self> {
+        let exp = Self::new(entry.key.clone(), entry.spec);
+        exp.from_cache.store(true, Ordering::Relaxed);
+        exp.finish_ok(entry.report, &entry.events, entry.text);
+        exp
+    }
+
+    fn push_event(&self, name: &'static str, data: String) {
+        let mut inner = self.inner.lock().expect("experiment lock");
+        inner.events.push((name, data));
+        self.cv.notify_all();
+    }
+
+    fn set_progress(&self, done: u64, total: u64) {
+        let mut inner = self.inner.lock().expect("experiment lock");
+        inner.phase = Phase::Running { done, total };
+        inner.events.push(("progress", progress_json(done, total)));
+        self.cv.notify_all();
+    }
+
+    fn finish_ok(&self, report: ExperimentReport, events: &[ProbeRecord], text: String) {
+        let total = self.spec.trials;
+        let mut inner = self.inner.lock().expect("experiment lock");
+        for rec in events {
+            let data = serde_json::to_string(rec).expect("serialize probe record");
+            inner.events.push(("probe", data));
+        }
+        inner.events.push(("progress", progress_json(total, total)));
+        inner
+            .events
+            .push(("done", format!("{{\"id\":\"{}\"}}", self.id)));
+        inner.phase = Phase::Done;
+        inner.report = Some(report);
+        inner.text = Some(text);
+        self.cv.notify_all();
+    }
+
+    fn finish_err(&self, error: String) {
+        let mut inner = self.inner.lock().expect("experiment lock");
+        let data = serde_json::to_string(&Value::Object(vec![(
+            "error".to_string(),
+            Value::String(error.clone()),
+        )]))
+        .expect("serialize failure event");
+        inner.events.push(("failed", data));
+        inner.phase = Phase::Failed { error };
+        self.cv.notify_all();
+    }
+
+    /// Block until there are events past `from` or the phase is terminal;
+    /// returns the new frames and whether the stream is complete.
+    fn wait_events(&self, from: usize) -> (Vec<(&'static str, String)>, bool) {
+        let mut inner = self.inner.lock().expect("experiment lock");
+        loop {
+            if inner.events.len() > from || inner.phase.is_terminal() {
+                let fresh = inner.events[from.min(inner.events.len())..].to_vec();
+                let complete = inner.phase.is_terminal();
+                return (fresh, complete);
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(inner, Duration::from_secs(1))
+                .expect("experiment lock");
+            inner = guard;
+        }
+    }
+
+    /// The `{id, status, cached, …}` JSON for POST responses and GETs.
+    /// `full` additionally embeds the report and rendered text.
+    fn status_json(&self, full: bool) -> String {
+        let inner = self.inner.lock().expect("experiment lock");
+        let mut fields = vec![
+            ("id".to_string(), Value::String(self.id.clone())),
+            (
+                "status".to_string(),
+                Value::String(inner.phase.name().to_string()),
+            ),
+            (
+                "cached".to_string(),
+                Value::Bool(self.from_cache.load(Ordering::Relaxed)),
+            ),
+            ("label".to_string(), Value::String(self.spec.label())),
+        ];
+        if let Phase::Running { done, total } = inner.phase {
+            fields.push((
+                "progress".to_string(),
+                Value::Object(vec![
+                    ("done".to_string(), u64_value(done)),
+                    ("total".to_string(), u64_value(total)),
+                ]),
+            ));
+        }
+        if let Phase::Failed { error } = &inner.phase {
+            fields.push(("error".to_string(), Value::String(error.clone())));
+        }
+        if full {
+            if let Some(report) = &inner.report {
+                fields.push(("report".to_string(), report.to_value()));
+            }
+            if let Some(text) = &inner.text {
+                fields.push(("text".to_string(), Value::String(text.clone())));
+            }
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("serialize status")
+    }
+}
+
+fn progress_json(done: u64, total: u64) -> String {
+    format!("{{\"done\":{done},\"total\":{total}}}")
+}
+
+fn u64_value(v: u64) -> Value {
+    Value::Number(serde::value::Number::U(v))
+}
+
+/// Shared server state: registry, queue, cache, identity.
+struct AppState {
+    code_version: String,
+    cache: DiskCache,
+    experiments: Mutex<HashMap<String, Arc<Experiment>>>,
+    queue: Mutex<VecDeque<Arc<Experiment>>>,
+    queue_cv: Condvar,
+}
+
+impl AppState {
+    fn enqueue(&self, exp: Arc<Experiment>) {
+        self.queue.lock().expect("queue lock").push_back(exp);
+        self.queue_cv.notify_one();
+    }
+
+    fn dequeue(&self) -> Arc<Experiment> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        loop {
+            if let Some(exp) = queue.pop_front() {
+                return exp;
+            }
+            queue = self.queue_cv.wait(queue).expect("queue lock");
+        }
+    }
+}
+
+/// The bound, not-yet-running server. [`Server::run`] blocks on the
+/// accept loop; [`Server::run_background`] detaches it (tests, smoke
+/// scripts).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind the listen socket, open the cache, and capture the code
+    /// version that scopes every cache key this process computes.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = DiskCache::open(&config.cache_dir)?;
+        let workers = match config.workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+                .min(4),
+            n => n,
+        };
+        Ok(Self {
+            listener,
+            state: Arc::new(AppState {
+                code_version: runspec::code_version(),
+                cache,
+                experiments: Mutex::new(HashMap::new()),
+                queue: Mutex::new(VecDeque::new()),
+                queue_cv: Condvar::new(),
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Start the worker pool and serve connections forever.
+    pub fn run(self) -> std::io::Result<()> {
+        for _ in 0..self.workers {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || worker_loop(&state));
+        }
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        // Client-side disconnects mid-stream are routine;
+                        // nothing to do but drop the connection.
+                        let _ = handle_connection(&mut stream, &state);
+                    });
+                }
+                Err(e) => eprintln!("accept error: {e}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the server on a detached thread; returns the bound address.
+    pub fn run_background(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            if let Err(e) = self.run() {
+                eprintln!("server error: {e}");
+            }
+        });
+        Ok(addr)
+    }
+}
+
+/// One worker: pull experiments off the queue and run them to a terminal
+/// phase. A worker panic inside the Monte-Carlo batch is already mapped
+/// to [`RunSpecError::Run`] by the runner, so the pool itself never dies
+/// with an experiment.
+fn worker_loop(state: &AppState) {
+    loop {
+        let exp = state.dequeue();
+        if exp.cancel.is_cancelled() {
+            exp.finish_err("cancelled before start".to_string());
+            continue;
+        }
+        let total = exp.spec.trials;
+        exp.set_progress(0, total);
+        let progress = |done: u64, _total: u64| exp.set_progress(done, total);
+        match runspec::run_spec_with(&exp.spec, progress, &exp.cancel) {
+            Ok(out) => {
+                let entry = CacheEntry {
+                    key: exp.id.clone(),
+                    code_version: state.code_version.clone(),
+                    spec: exp.spec.clone(),
+                    report: out.report.clone(),
+                    events: out.events.clone(),
+                    text: out.text.clone(),
+                };
+                if let Err(e) = state.cache.store(&entry) {
+                    // A write failure degrades the cache, not the result.
+                    eprintln!("cache store failed for {}: {e}", exp.id);
+                }
+                exp.finish_ok(out.report, &out.events, out.text);
+            }
+            Err(e) => exp.finish_err(e.to_string()),
+        }
+    }
+}
+
+/// Route one request.
+fn handle_connection(stream: &mut TcpStream, state: &AppState) -> std::io::Result<()> {
+    let req = match http::read_request(stream) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()),
+        Err(e) => return http::respond_error(stream, 400, &e.to_string()),
+    };
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = serde_json::to_string(&Value::Object(vec![
+                ("status".to_string(), Value::String("ok".to_string())),
+                (
+                    "code_version".to_string(),
+                    Value::String(state.code_version.clone()),
+                ),
+            ]))
+            .expect("serialize healthz");
+            http::respond_json(stream, 200, &body)
+        }
+        ("POST", ["experiments"]) => post_experiment(stream, state, &req.body),
+        ("GET", ["experiments", id]) => match lookup(state, id) {
+            Some(exp) => http::respond_json(stream, 200, &exp.status_json(true)),
+            None => http::respond_error(stream, 404, "unknown experiment"),
+        },
+        ("GET", ["experiments", id, "events"]) => match lookup(state, id) {
+            Some(exp) => stream_events(stream, &exp),
+            None => http::respond_error(stream, 404, "unknown experiment"),
+        },
+        ("POST", ["experiments", id, "cancel"]) => match lookup(state, id) {
+            Some(exp) => {
+                exp.cancel.cancel();
+                http::respond_json(stream, 202, &exp.status_json(false))
+            }
+            None => http::respond_error(stream, 404, "unknown experiment"),
+        },
+        ("POST" | "GET", _) => http::respond_error(stream, 404, "no such route"),
+        _ => http::respond_error(stream, 405, "method not allowed"),
+    }
+}
+
+/// Find an experiment by id: the in-process registry first, then the
+/// disk cache (results computed by an earlier server process under the
+/// same code version rehydrate transparently).
+fn lookup(state: &AppState, id: &str) -> Option<Arc<Experiment>> {
+    let mut map = state.experiments.lock().expect("experiments lock");
+    if let Some(exp) = map.get(id) {
+        return Some(Arc::clone(exp));
+    }
+    let entry = state.cache.load(id)?;
+    let exp = Experiment::from_cache_entry(entry);
+    map.insert(id.to_string(), Arc::clone(&exp));
+    Some(exp)
+}
+
+/// `POST /experiments`: parse, validate, content-address, and either
+/// serve from cache or enqueue.
+fn post_experiment(stream: &mut TcpStream, state: &AppState, body: &[u8]) -> std::io::Result<()> {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return http::respond_error(stream, 400, "body is not UTF-8"),
+    };
+    let spec: ExperimentSpec = match serde_json::from_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            return http::respond_error(stream, 400, &format!("invalid ExperimentSpec: {e:?}"))
+        }
+    };
+    // Full submission-time validation (including spec/workload
+    // compatibility, e.g. ALIGNED on an unaligned workload) so bad specs
+    // are a 400, not a failed experiment.
+    if let Err(e) = runspec::check(&spec) {
+        return http::respond_error(stream, 400, &e.to_string());
+    }
+
+    let key = runspec::cache_key(&spec, &state.code_version);
+    let mut map = state.experiments.lock().expect("experiments lock");
+    if let Some(exp) = map.get(&key) {
+        let exp = Arc::clone(exp);
+        let failed = matches!(
+            exp.inner.lock().expect("experiment lock").phase,
+            Phase::Failed { .. }
+        );
+        if !failed {
+            // Identical spec already known: completed runs are a cache
+            // hit, in-flight runs attach the caller to the existing
+            // execution. Either way nothing is re-simulated.
+            {
+                let inner = exp.inner.lock().expect("experiment lock");
+                if inner.phase == Phase::Done {
+                    exp.from_cache.store(true, Ordering::Relaxed);
+                }
+            }
+            drop(map);
+            return http::respond_json(stream, 202, &exp.status_json(false));
+        }
+        // A failed (or cancelled) run is not a result; resubmission
+        // evicts it and executes fresh.
+        map.remove(&key);
+    }
+    if let Some(entry) = state.cache.load(&key) {
+        let exp = Experiment::from_cache_entry(entry);
+        map.insert(key, Arc::clone(&exp));
+        drop(map);
+        return http::respond_json(stream, 202, &exp.status_json(false));
+    }
+    let exp = Experiment::new(key.clone(), spec);
+    map.insert(key, Arc::clone(&exp));
+    drop(map);
+    state.enqueue(Arc::clone(&exp));
+    http::respond_json(stream, 202, &exp.status_json(false))
+}
+
+/// `GET /experiments/:id/events`: replay the event log from the start,
+/// then follow it live until the experiment reaches a terminal phase.
+fn stream_events(stream: &mut TcpStream, exp: &Experiment) -> std::io::Result<()> {
+    http::start_sse(stream)?;
+    let mut cursor = 0usize;
+    loop {
+        let (fresh, complete) = exp.wait_events(cursor);
+        let drained = fresh.len();
+        for (name, data) in fresh {
+            http::write_sse_event(stream, name, &data)?;
+        }
+        cursor += drained;
+        if complete && drained == 0 {
+            return Ok(());
+        }
+    }
+}

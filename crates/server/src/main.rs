@@ -1,0 +1,87 @@
+//! `dcr-server` binary: serve experiments over HTTP.
+//!
+//! ```text
+//! dcr-server [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--threads N]
+//! ```
+//!
+//! Defaults: `127.0.0.1:8787`, cache in `target/dcr-cache`, worker count
+//! from available parallelism. `--threads` pins the Monte-Carlo worker
+//! count inside each experiment (the same knob as `experiments
+//! --threads`). See the crate docs for the API.
+
+use dcr_server::{Server, ServerConfig};
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}; try --help");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--addr needs HOST:PORT"));
+                config.addr = v.clone();
+            }
+            "--cache-dir" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--cache-dir needs a directory"));
+                config.cache_dir = v.into();
+            }
+            "--workers" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--workers needs a count"));
+                config.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_error("--workers must be a positive integer"));
+            }
+            "--threads" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threads needs a count"));
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage_error("--threads must be a positive integer"));
+                dcr_sim::runner::set_worker_override(Some(n));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dcr-server [--addr HOST:PORT] [--cache-dir DIR] \
+                     [--workers N] [--threads N]\n\n\
+                     POST /experiments              submit an ExperimentSpec (JSON)\n\
+                     GET  /experiments/:id          status + report when done\n\
+                     GET  /experiments/:id/events   SSE progress/probe stream\n\
+                     POST /experiments/:id/cancel   cancel a queued/running run\n\
+                     GET  /healthz                  liveness + code version"
+                );
+                return;
+            }
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+
+    let server = Server::bind(config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot start server on {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().expect("bound listener has an address");
+    println!(
+        "dcr-server listening on http://{addr} (cache: {})",
+        config.cache_dir.display()
+    );
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+}

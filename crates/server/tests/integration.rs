@@ -1,0 +1,209 @@
+//! End-to-end test of the experiment service: submit over HTTP, stream
+//! SSE, compare the served report byte-for-byte against an in-process
+//! run, and prove the content-addressed cache serves resubmissions
+//! without executing a single engine slot.
+
+use dcr_bench::runspec::{self, ExperimentSpec};
+use dcr_server::{Server, ServerConfig};
+use dcr_stats::ExperimentReport;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One blocking HTTP exchange (connection-per-request, like the server).
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set timeout");
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Read a full SSE stream (the server closes it after the terminal
+/// event) and parse it into `(event, data)` frames.
+fn read_sse(addr: SocketAddr, path: &str) -> Vec<(String, String)> {
+    let (status, body) = request(addr, "GET", path, None);
+    assert_eq!(status, 200, "SSE endpoint should answer 200: {body}");
+    let mut frames = Vec::new();
+    let mut event = String::new();
+    for line in body.lines() {
+        if let Some(name) = line.strip_prefix("event: ") {
+            event = name.to_string();
+        } else if let Some(data) = line.strip_prefix("data: ") {
+            frames.push((event.clone(), data.to_string()));
+        }
+    }
+    frames
+}
+
+fn field<'a>(json: &'a serde::Value, name: &str) -> &'a serde::Value {
+    json.as_object()
+        .and_then(|pairs| pairs.iter().find(|(k, _)| k == name))
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing field {name} in {json:?}"))
+}
+
+fn quick_spec() -> ExperimentSpec {
+    serde_json::from_str(
+        r#"{
+            "protocol": {"Aligned": {"lambda": 1, "tau": 2, "min_class": 6}},
+            "workload": {"Batch": {"n": 8, "w": 64}},
+            "fidelity": "Exact",
+            "scheduling": "EventDriven",
+            "adversary": {"spec": {"Policy": "AllSuccesses"}, "p_jam": 0.25},
+            "probe": {"sinks": ["Events"]},
+            "max_slots": 100000,
+            "seed": 7,
+            "trials": 30
+        }"#,
+    )
+    .expect("fixture spec parses")
+}
+
+fn start_server(tag: &str) -> SocketAddr {
+    let cache_dir =
+        std::env::temp_dir().join(format!("dcr-server-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir,
+        workers: 1,
+    })
+    .expect("bind ephemeral port");
+    server.run_background().expect("spawn server")
+}
+
+fn wait_done(addr: SocketAddr, id: &str) -> serde::Value {
+    for _ in 0..600 {
+        let (status, body) = request(addr, "GET", &format!("/experiments/{id}"), None);
+        assert_eq!(status, 200, "{body}");
+        let json: serde::Value = serde_json::from_str(&body).expect("status json");
+        match field(&json, "status").as_str().expect("status string") {
+            "done" => return json,
+            "failed" => panic!("experiment failed: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    panic!("experiment {id} did not finish in time");
+}
+
+/// The whole submit → stream → report → cache-hit flow, sequential in
+/// one test so the process-wide engine slot counter can prove the cache
+/// hit executed nothing.
+#[test]
+fn submit_stream_report_and_cache_hit() {
+    let addr = start_server("flow");
+    let spec = quick_spec();
+    let spec_json = serde_json::to_string(&spec).expect("serialize spec");
+
+    // Submit. The id is the content key.
+    let (status, body) = request(addr, "POST", "/experiments", Some(&spec_json));
+    assert_eq!(status, 202, "{body}");
+    let posted: serde::Value = serde_json::from_str(&body).expect("post response");
+    let id = field(&posted, "id").as_str().expect("id").to_string();
+    assert_eq!(field(&posted, "cached"), &serde::Value::Bool(false));
+
+    // The SSE stream delivers progress and probe events, then `done`.
+    let frames = read_sse(addr, &format!("/experiments/{id}/events"));
+    let count = |name: &str| frames.iter().filter(|(e, _)| e == name).count();
+    assert!(count("progress") >= 1, "no progress events in {frames:?}");
+    assert!(count("probe") >= 1, "no probe events in {frames:?}");
+    assert_eq!(count("done"), 1, "missing done event in {frames:?}");
+
+    // The served report matches a direct in-process run byte-for-byte
+    // (modulo the volatile timing/provenance block, by contract).
+    let done = wait_done(addr, &id);
+    let served: ExperimentReport =
+        serde_json::from_value(field(&done, "report")).expect("report parses");
+    let direct = runspec::run_spec(&spec).expect("in-process run");
+    assert_eq!(
+        serde_json::to_string(&served.deterministic_view()).unwrap(),
+        serde_json::to_string(&direct.report.deterministic_view()).unwrap(),
+        "server must serve the same bytes the in-process path computes"
+    );
+
+    // Resubmitting the identical spec — with fields reordered, even — is
+    // a cache hit that executes zero engine slots.
+    let reordered = r#"{"trials": 30, "seed": 7, "max_slots": 100000, "probe": {"sinks": ["Events"]},
+            "adversary": {"p_jam": 0.25, "spec": {"Policy": "AllSuccesses"}},
+            "scheduling": "EventDriven", "fidelity": "Exact",
+            "workload": {"Batch": {"w": 64, "n": 8}},
+            "protocol": {"Aligned": {"min_class": 6, "tau": 2, "lambda": 1}}}"#;
+    let slots_before = dcr_sim::engine::slots_executed_total();
+    let (status, body) = request(addr, "POST", "/experiments", Some(reordered));
+    assert_eq!(status, 202, "{body}");
+    let reposted: serde::Value = serde_json::from_str(&body).expect("repost response");
+    assert_eq!(
+        field(&reposted, "id").as_str().expect("id"),
+        id,
+        "reordered fields must content-address to the same experiment"
+    );
+    assert_eq!(field(&reposted, "cached"), &serde::Value::Bool(true));
+    assert_eq!(field(&reposted, "status").as_str(), Some("done"));
+    assert_eq!(
+        dcr_sim::engine::slots_executed_total(),
+        slots_before,
+        "a cache hit must not execute any engine slots"
+    );
+
+    // The replayed SSE stream for the cached run is complete too.
+    let frames = read_sse(addr, &format!("/experiments/{id}/events"));
+    assert!(frames.iter().any(|(e, _)| e == "probe"));
+    assert!(frames.iter().any(|(e, _)| e == "done"));
+}
+
+/// Bad submissions are 400s with a reason, not failed experiments —
+/// including spec/workload incompatibilities that only surface when the
+/// workload is built.
+#[test]
+fn invalid_specs_are_rejected_at_submission() {
+    let addr = start_server("reject");
+
+    let (status, body) = request(addr, "POST", "/experiments", Some("{not json"));
+    assert_eq!(status, 400, "{body}");
+
+    let mut bad_trials = quick_spec();
+    bad_trials.trials = 0;
+    let json = serde_json::to_string(&bad_trials).unwrap();
+    let (status, body) = request(addr, "POST", "/experiments", Some(&json));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("trials"), "unexpected error body: {body}");
+
+    // ALIGNED on a non-power-of-two window: caught by the workload
+    // compatibility check, before any slot is simulated.
+    let unaligned = r#"{
+        "protocol": {"Aligned": {"lambda": 1, "tau": 2, "min_class": 1}},
+        "workload": {"Batch": {"n": 4, "w": 12}},
+        "fidelity": "Exact", "scheduling": "EventDriven",
+        "adversary": null, "probe": null, "max_slots": null,
+        "seed": 1, "trials": 5
+    }"#;
+    let (status, body) = request(addr, "POST", "/experiments", Some(unaligned));
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("aligned"), "unexpected error body: {body}");
+
+    let (status, _) = request(addr, "GET", "/experiments/deadbeef", None);
+    assert_eq!(status, 404);
+
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("code_version"), "{body}");
+}

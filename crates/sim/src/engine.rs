@@ -895,6 +895,19 @@ mod arena {
     }
 }
 
+/// Process-lifetime total of channel slots executed by every engine run
+/// (all threads, all trials). See [`slots_executed_total`].
+static SLOTS_EXECUTED_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total channel slots executed by all [`Engine::run`] calls in this
+/// process so far — the process-wide view of the per-report
+/// [`SimReport::slots_run`] counter. Monotone; never reset. This is how
+/// an outside observer (e.g. the experiment server's cache tests) proves
+/// that serving a result "from cache" really executed zero new slots.
+pub fn slots_executed_total() -> u64 {
+    SLOTS_EXECUTED_TOTAL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The simulation engine. See the [module docs](self) for the slot loop.
 pub struct Engine {
     config: EngineConfig,
@@ -2102,6 +2115,7 @@ impl Engine {
         let specs: Vec<JobSpec> = self.jobs.specs.clone();
         let outcomes: Vec<JobOutcome> = self.jobs.outcomes.iter().map(|o| o.unwrap()).collect();
         let accesses: Vec<AccessCounts> = self.jobs.accesses.clone();
+        SLOTS_EXECUTED_TOTAL.fetch_add(slot, std::sync::atomic::Ordering::Relaxed);
         SimReport::new(
             specs,
             outcomes,

@@ -83,6 +83,14 @@ pub mod sched;
 pub mod slot;
 pub mod trace;
 
+// The serializable run-description types, re-exported at the crate root
+// so service layers (the experiment server, the `--spec` CLI path) can
+// name a full run as data without reaching into submodules.
+pub use engine::{EngineConfig, Fidelity, Scheduling};
+pub use jamming::AdversarySpec;
+pub use probe::{ProbeSpec, SinkSpec};
+pub use runner::{CancelToken, RunError};
+
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
     pub use crate::classes::{ClassCtx, ClassDriver, ClassEvent, ClassSlot};
@@ -100,7 +108,7 @@ pub mod prelude {
         EventBuf, ProbeEvent, ProbeOutput, ProbeRecord, ProbeReport, ProbeSink, ProbeSpec, SinkSpec,
     };
     pub use crate::rng::SeedSeq;
-    pub use crate::runner::{run_trials, TrialOutcome};
+    pub use crate::runner::{run_trials, CancelToken, RunError, TrialOutcome};
     pub use crate::slot::Feedback;
     pub use crate::trace::{SlotOutcome, SlotRecord};
 }

@@ -24,8 +24,86 @@
 
 use crate::rng::SeedSeq;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Typed failure of a trial batch (see [`run_trials_ctl`]).
+///
+/// Historically a worker panic died inside the runner via
+/// `expect("monte-carlo worker panicked")`, which lost the panic payload
+/// and — for long-lived callers such as `dcr-server` — aborted the whole
+/// process on one bad trial. The payload is now captured and surfaced
+/// here so callers can map it to a failed-run status instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A worker thread panicked while executing a trial. `payload` is the
+    /// panic message when it was a `&str`/`String` (the overwhelmingly
+    /// common case: `panic!`, `assert!`, `expect`), or a placeholder for
+    /// exotic payload types.
+    Panicked {
+        /// Captured panic payload text.
+        payload: String,
+    },
+    /// The batch observed its [`CancelToken`] and stopped early; no
+    /// result vector exists because not every trial ran.
+    Cancelled {
+        /// Trials that had completed when the batch wound down.
+        completed: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panicked { payload } => {
+                write!(f, "monte-carlo worker panicked: {payload}")
+            }
+            RunError::Cancelled { completed } => {
+                write!(f, "trial batch cancelled after {completed} trials")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Extract a human-readable message from a panic payload.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Cooperative cancellation handle for a trial batch.
+///
+/// Cloning shares the flag; any clone may [`cancel`](CancelToken::cancel).
+/// Workers observe the flag between trials (a running trial is never
+/// interrupted mid-flight), so cancellation latency is one trial's
+/// duration per worker.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Process-wide worker-count override; 0 means "auto" (available
 /// parallelism).
@@ -155,6 +233,36 @@ where
     F: Fn(u64, u64) -> T + Sync,
     P: Fn(u64, u64) + Sync,
 {
+    // A fresh token is never cancelled, so the only possible error is a
+    // worker panic — re-raised here with its payload preserved, keeping
+    // the legacy panic contract for batch CLI callers. Long-lived callers
+    // (the experiment server) use `run_trials_ctl` and get a typed error.
+    match run_trials_ctl(trials, master_seed, f, progress, &CancelToken::new()) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_trials_with`] with full control: cooperative cancellation via a
+/// [`CancelToken`] and typed errors instead of panics.
+///
+/// Returns [`RunError::Cancelled`] if the token fires before the batch
+/// completes (workers stop claiming new trials; in-flight trials finish),
+/// and [`RunError::Panicked`] — with the captured panic payload — if any
+/// trial closure panics. On error no partial result vector is returned:
+/// trial outcomes are only meaningful as a complete, index-dense batch.
+pub fn run_trials_ctl<T, F, P>(
+    trials: u64,
+    master_seed: u64,
+    f: F,
+    progress: P,
+    cancel: &CancelToken,
+) -> Result<(Vec<TrialOutcome<T>>, RunStats), RunError>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+    P: Fn(u64, u64) + Sync,
+{
     let started = Instant::now();
     let seeds = SeedSeq::new(master_seed);
     let next = AtomicU64::new(0);
@@ -166,8 +274,10 @@ where
     // hot path, and no final sort.
     let mut slots: Vec<Option<TrialOutcome<T>>> = Vec::new();
     slots.resize_with(trials as usize, || None);
+    // First captured worker panic payload, if any.
+    let mut panicked: Option<String> = None;
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|_| {
@@ -180,6 +290,9 @@ where
                     let mut unflushed = 0u64;
                     let mut last_flush = Instant::now();
                     loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let trial = next.fetch_add(1, Ordering::Relaxed);
                         if trial >= trials {
                             break;
@@ -206,14 +319,43 @@ where
             })
             .collect();
         for h in handles {
-            for outcome in h.join().expect("monte-carlo worker panicked") {
-                let idx = outcome.trial as usize;
-                debug_assert!(slots[idx].is_none(), "trial {idx} ran twice");
-                slots[idx] = Some(outcome);
+            match h.join() {
+                Ok(outcomes) => {
+                    for outcome in outcomes {
+                        let idx = outcome.trial as usize;
+                        debug_assert!(slots[idx].is_none(), "trial {idx} ran twice");
+                        slots[idx] = Some(outcome);
+                    }
+                }
+                Err(payload) => {
+                    // Capture the first payload; keep joining the rest so
+                    // the scope winds down cleanly either way.
+                    if panicked.is_none() {
+                        panicked = Some(payload_text(payload.as_ref()));
+                    }
+                }
             }
         }
-    })
-    .expect("monte-carlo scope failed");
+    });
+    // The closure above joins every handle itself, so the scope can only
+    // fail if the *closure* panicked — which it does not. Still, treat a
+    // scope-level payload like a worker panic rather than unwrapping.
+    if let Err(payload) = scope_result {
+        if panicked.is_none() {
+            panicked = Some(payload_text(payload.as_ref()));
+        }
+    }
+
+    if let Some(payload) = panicked {
+        return Err(RunError::Panicked { payload });
+    }
+    // A token that fired only after every trial had already completed
+    // loses the race benignly: the batch is whole, so return it.
+    if cancel.is_cancelled() && slots.iter().any(Option::is_none) {
+        return Err(RunError::Cancelled {
+            completed: completed.load(Ordering::Relaxed),
+        });
+    }
 
     let out: Vec<TrialOutcome<T>> = slots
         .into_iter()
@@ -224,7 +366,7 @@ where
         trials,
         workers,
     };
-    (out, stats)
+    Ok((out, stats))
 }
 
 /// Run trials and count how many satisfy `pred`. Returns `(hits, trials)`.
@@ -379,6 +521,100 @@ mod tests {
         set_worker_override(None);
         assert_eq!(stats.workers, 3);
         assert!(configured_workers(1000) >= 1);
+    }
+
+    #[test]
+    fn worker_panic_is_captured_as_typed_error() {
+        let err = run_trials_ctl(
+            8,
+            3,
+            |t, _| {
+                if t == 5 {
+                    panic!("trial 5 exploded: bad window");
+                }
+                t
+            },
+            |_, _| {},
+            &CancelToken::new(),
+        )
+        .unwrap_err();
+        match err {
+            RunError::Panicked { payload } => {
+                assert!(
+                    payload.contains("trial 5 exploded"),
+                    "payload lost: {payload:?}"
+                );
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 2 exploded")]
+    fn legacy_entry_point_panics_with_payload() {
+        // The panicking wrapper must re-raise with the payload text, not
+        // a generic "worker panicked" message.
+        let _ = run_trials(4, 3, |t, _| {
+            if t == 2 {
+                panic!("trial 2 exploded");
+            }
+            t
+        });
+    }
+
+    #[test]
+    fn cancellation_stops_the_batch() {
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        // Cancel from inside trial 0; workers observe the flag between
+        // trials, so far fewer than the full 10_000 run.
+        let err = run_trials_ctl(
+            10_000,
+            7,
+            move |_, _| {
+                t2.cancel();
+                std::thread::sleep(Duration::from_millis(1));
+            },
+            |_, _| {},
+            &token,
+        )
+        .unwrap_err();
+        match err {
+            RunError::Cancelled { completed } => {
+                assert!(completed < 10_000, "cancel ignored: {completed} trials ran");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn late_cancel_still_returns_full_batch() {
+        // The token fires during the final (only) trial: every slot is
+        // filled by wind-down, so the whole batch is preferred over the
+        // cancellation error.
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let run = move |t: u64, _seed: u64| {
+            t2.cancel();
+            t
+        };
+        let (out, _) = run_trials_ctl(1, 11, run, |_, _| {}, &token)
+            .expect("complete batch must win over a late cancel");
+        assert_eq!(out.len(), 1);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn ctl_matches_plain_results() {
+        let f = |_t: u64, seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            rng.gen_range(0..1_000_000u64)
+        };
+        let plain: Vec<u64> = run_trials(50, 17, f).into_iter().map(|t| t.value).collect();
+        let (ctl, _) = run_trials_ctl(50, 17, f, |_, _| {}, &CancelToken::new()).unwrap();
+        let ctl: Vec<u64> = ctl.into_iter().map(|t| t.value).collect();
+        assert_eq!(plain, ctl);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Canonical JSON and content addressing.
+//!
+//! The experiment server caches finished results keyed by a hash of
+//! `(spec, code-version)`. For that key to be *stable*, two JSON documents
+//! that describe the same run must hash identically even when their object
+//! fields arrive in different orders — so hashing operates on a
+//! **canonical form**: object keys sorted recursively (byte-wise), arrays
+//! kept in order (order is semantic there), rendered compactly with the
+//! same escaping rules `serde_json::to_string` uses. The hash itself is
+//! SHA-256, implemented here directly because this workspace vendors its
+//! dependencies and carries no crypto crate; FIPS 180-4, ~60 lines, with
+//! the standard test vectors pinned below.
+//!
+//! What canonicalization deliberately does **not** do: normalize numbers
+//! across representations (`1` vs `1.0` differ) or resolve serde defaults
+//! (an omitted optional field differs from an explicit `null`). Cache keys
+//! are computed from the canonical form of the *re-serialized, typed* spec
+//! — parse first, then hash — so those surface differences collapse before
+//! hashing. See `ExperimentSpec::cache_key` in `dcr-bench`.
+
+use serde::Value;
+
+/// Recursively sort every object's keys (byte-wise ascending, duplicates
+/// keeping their relative order) so that field order no longer carries
+/// information. Arrays are untouched: element order is semantic.
+pub fn canonicalize(v: &mut Value) {
+    match v {
+        Value::Object(pairs) => {
+            for (_, val) in pairs.iter_mut() {
+                canonicalize(val);
+            }
+            pairs.sort_by(|(a, _), (b, _)| a.as_bytes().cmp(b.as_bytes()));
+        }
+        Value::Array(items) => {
+            for item in items {
+                canonicalize(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Render `v` in canonical form: keys sorted via [`canonicalize`], compact
+/// JSON. The input is cloned, not mutated.
+pub fn canonical_string(v: &Value) -> String {
+    let mut sorted = v.clone();
+    canonicalize(&mut sorted);
+    sorted.to_string()
+}
+
+/// SHA-256 of `data`, as a lowercase hex string.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let digest = sha256(data);
+    let mut out = String::with_capacity(64);
+    for byte in digest {
+        use std::fmt::Write;
+        let _ = write!(out, "{byte:02x}");
+    }
+    out
+}
+
+/// Content-address a value: SHA-256 over its canonical JSON rendering.
+pub fn content_hash(v: &Value) -> String {
+    sha256_hex(canonical_string(v).as_bytes())
+}
+
+/// SHA-256 (FIPS 180-4) over a byte slice.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Pad: message ‖ 0x80 ‖ zeros ‖ 64-bit big-endian bit length, to a
+    // multiple of 64 bytes.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                chunk[4 * i],
+                chunk[4 * i + 1],
+                chunk[4 * i + 2],
+                chunk[4 * i + 3],
+            ]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::Number;
+
+    // FIPS 180-4 / RFC 6234 test vectors.
+    #[test]
+    fn sha256_standard_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Exercise multi-block padding: exactly 64 bytes forces a second
+        // block holding only padding + length.
+        assert_eq!(
+            sha256_hex(&[b'a'; 64]),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn canonicalization_sorts_keys_recursively() {
+        let v = Value::Object(vec![
+            (
+                "z".into(),
+                Value::Object(vec![
+                    ("b".into(), Value::Number(Number::U(2))),
+                    ("a".into(), Value::Number(Number::U(1))),
+                ]),
+            ),
+            ("a".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(canonical_string(&v), r#"{"a":true,"z":{"a":1,"b":2}}"#);
+    }
+
+    #[test]
+    fn array_order_is_preserved() {
+        let v = Value::Array(vec![
+            Value::Number(Number::U(3)),
+            Value::Number(Number::U(1)),
+            Value::Number(Number::U(2)),
+        ]);
+        assert_eq!(canonical_string(&v), "[3,1,2]");
+    }
+
+    #[test]
+    fn field_order_does_not_change_the_hash() {
+        let ab = Value::Object(vec![
+            ("alpha".into(), Value::Number(Number::U(7))),
+            ("beta".into(), Value::String("x".into())),
+        ]);
+        let ba = Value::Object(vec![
+            ("beta".into(), Value::String("x".into())),
+            ("alpha".into(), Value::Number(Number::U(7))),
+        ]);
+        assert_eq!(content_hash(&ab), content_hash(&ba));
+    }
+
+    #[test]
+    fn semantic_change_changes_the_hash() {
+        let a = Value::Object(vec![("seed".into(), Value::Number(Number::U(1)))]);
+        let b = Value::Object(vec![("seed".into(), Value::Number(Number::U(2)))]);
+        assert_ne!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn canonicalize_does_not_mutate_input() {
+        let v = Value::Object(vec![("b".into(), Value::Null), ("a".into(), Value::Null)]);
+        let _ = canonical_string(&v);
+        assert_eq!(v.as_object().unwrap()[0].0, "b");
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod binomial;
 pub mod bootstrap;
+pub mod canon;
 pub mod histogram;
 pub mod regression;
 pub mod report;
@@ -20,6 +21,7 @@ pub mod table;
 
 pub use binomial::Proportion;
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
+pub use canon::{canonical_string, canonicalize, content_hash, sha256_hex};
 pub use histogram::{quantile, Histogram};
 pub use regression::{linear_fit, loglog_slope, LinearFit};
 pub use report::{CheckResult, ExperimentReport, MetricRow, Param, Provenance, Timing};
